@@ -1,0 +1,169 @@
+(* The benchmark harness: regenerates every evaluation artifact of the
+   paper (one table per figure, EXP-1..EXP-10; see DESIGN.md for the
+   index) and then runs Bechamel micro-benchmarks over the framework's
+   computational kernels.
+
+   Usage:  dune exec bench/main.exe            (everything)
+           dune exec bench/main.exe -- quick   (small experiment sizes)
+           dune exec bench/main.exe -- tables  (skip microbenchmarks)   *)
+
+open Codesign_experiments
+
+let experiments =
+  [
+    ("EXP-1", fun ~quick () -> Exp_fig1.run ~quick ());
+    ("EXP-2", fun ~quick () -> Exp_fig2.run ~quick ());
+    ("EXP-3", fun ~quick () -> Exp_fig3.run ~quick ());
+    ("EXP-4", fun ~quick () -> Exp_fig4.run ~quick ());
+    ("EXP-5", fun ~quick () -> Exp_fig5.run ~quick ());
+    ("EXP-6", fun ~quick () -> Exp_fig6.run ~quick ());
+    ("EXP-7", fun ~quick () -> Exp_fig7.run ~quick ());
+    ("EXP-8", fun ~quick () -> Exp_fig8.run ~quick ());
+    ("EXP-9", fun ~quick () -> Exp_fig9.run ~quick ());
+    ("EXP-10", fun ~quick () -> Exp_criteria.run ~quick ());
+    ("EXP-A", fun ~quick () -> Exp_ablation.run ~quick ());
+  ]
+
+let run_tables ~quick =
+  print_endline
+    "=================================================================";
+  print_endline
+    " Reproduction of: The Design of Mixed Hardware/Software Systems";
+  print_endline " (Adams & Thomas, DAC 1996) -- experiment tables";
+  print_endline
+    "=================================================================\n";
+  List.iter
+    (fun (name, f) ->
+      let t0 = Unix.gettimeofday () in
+      let table = f ~quick () in
+      let dt = Unix.gettimeofday () -. t0 in
+      print_endline table;
+      Printf.printf "(%s generated in %.2fs)\n\n" name dt)
+    experiments
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks of the framework's computational kernels  *)
+(* ------------------------------------------------------------------ *)
+
+module B = Codesign_ir.Behavior
+module Tgff = Codesign_workloads.Tgff
+module Kernels = Codesign_workloads.Kernels
+open Codesign
+
+let bench_event_kernel () =
+  let k = Codesign_sim.Kernel.create () in
+  for i = 0 to 9 do
+    Codesign_sim.Kernel.spawn k (fun () ->
+        for _ = 1 to 100 do
+          Codesign_sim.Kernel.wait (1 + i)
+        done)
+  done;
+  ignore (Codesign_sim.Kernel.run k)
+
+let fir_proc, fir_binds =
+  let _, p, b = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  (p, b)
+
+let fir_image, fir_layout = Codesign_isa.Codegen.compile fir_proc
+let fir_code = (Codesign_isa.Asm.assemble fir_image).Codesign_isa.Asm.code
+
+let bench_iss () =
+  let cpu = Codesign_isa.Cpu.create fir_code in
+  Codesign_isa.Codegen.bind fir_layout cpu fir_binds;
+  ignore (Codesign_isa.Cpu.run cpu)
+
+let dct_block =
+  let g = B.elaborate (Kernels.dct8 ()) in
+  List.hd g.Codesign_ir.Cdfg.blocks
+
+let bench_list_schedule () =
+  ignore
+    (Codesign_hls.Sched.list_schedule dct_block
+       ~resources:[ ("mul", 2); ("alu", 2) ])
+
+let bench_hls_full () = ignore (Codesign_hls.Hls.synthesize_block dct_block)
+
+let part_graph =
+  Tgff.generate { Tgff.default_spec with Tgff.seed = 42; n_tasks = 12 }
+
+let bench_partition_kl () = ignore (Partition.kl part_graph)
+
+let cosynth_pb =
+  let g =
+    Tgff.generate
+      { Tgff.default_spec with Tgff.seed = 1; n_tasks = 6; layers = 3;
+        deadline_factor = 1.2 }
+  in
+  let exec =
+    Array.map
+      (fun (t : Codesign_ir.Task_graph.task) ->
+        [| max 1 (t.Codesign_ir.Task_graph.sw_cycles / 4);
+           max 1 (t.Codesign_ir.Task_graph.sw_cycles / 2);
+           t.Codesign_ir.Task_graph.sw_cycles |])
+      g.Codesign_ir.Task_graph.tasks
+  in
+  Cosynth.problem g
+    [ { Cosynth.pt_name = "fast"; price = 100 };
+      { Cosynth.pt_name = "mid"; price = 40 };
+      { Cosynth.pt_name = "slow"; price = 15 } ]
+    ~exec
+
+let bench_sos () = ignore (Cosynth.sos cosynth_pb)
+
+let bench_cosim_tlm () =
+  ignore (Cosim.run_echo_system ~level:Cosim.Transaction ~items:4 ~work:4 ())
+
+let bench_asip () = ignore (Asip.design fir_proc fir_binds)
+
+let run_microbenchmarks () =
+  let open Bechamel in
+  let test name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    Test.make_grouped ~name:"codesign"
+      [
+        test "event-kernel/1k-wakeups" bench_event_kernel;
+        test "iss/fir-kernel" bench_iss;
+        test "hls/list-schedule-dct8" bench_list_schedule;
+        test "hls/full-synthesis-dct8" bench_hls_full;
+        test "partition/kl-12-tasks" bench_partition_kl;
+        test "cosynth/sos-6-tasks" bench_sos;
+        test "cosim/tlm-echo" bench_cosim_tlm;
+        test "asip/design-fir" bench_asip;
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  print_endline "Micro-benchmarks (monotonic clock, ns per run):";
+  let clock =
+    Hashtbl.find merged (Measure.label Toolkit.Instance.monotonic_clock)
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let est =
+        match Analyze.OLS.estimates ols_result with
+        | Some [ e ] -> Printf.sprintf "%12.0f" e
+        | _ -> "           ?"
+      in
+      rows := (name, est) :: !rows)
+    clock;
+  List.iter
+    (fun (name, est) -> Printf.printf "  %-40s %s ns\n" name est)
+    (List.sort compare !rows)
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "quick" args in
+  let tables_only = List.mem "tables" args in
+  run_tables ~quick;
+  if not tables_only then run_microbenchmarks ()

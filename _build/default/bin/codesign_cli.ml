@@ -1,0 +1,294 @@
+(* codesign — command-line front end to the co-design framework.
+
+     dune exec bin/codesign_cli.exe -- <command> ...
+
+   Commands:
+     experiments [-q] [NAME...]     print experiment tables (default all)
+     partition   [options]          partition a generated task graph
+     cosynth     [options]          heterogeneous multiprocessor synthesis
+     asip        KERNEL [options]   instruction-set extension flow
+     cosim       [--level L]        co-simulate the echo system
+     kernels                        list the benchmark kernels
+     disasm      KERNEL             show a kernel's compiled assembly      *)
+
+open Cmdliner
+open Codesign
+module T = Codesign_ir.Task_graph
+module Tgff = Codesign_workloads.Tgff
+module Kernels = Codesign_workloads.Kernels
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
+
+let tasks_arg =
+  Arg.(
+    value & opt int 12
+    & info [ "tasks" ] ~docv:"N" ~doc:"Number of tasks in the workload.")
+
+let kernel_arg =
+  let kconv =
+    Arg.enum (List.map (fun ((n, _, _) as k) -> (n, k)) Kernels.all)
+  in
+  Arg.(
+    required
+    & pos 0 (some kconv) None
+    & info [] ~docv:"KERNEL" ~doc:"Benchmark kernel name.")
+
+(* ------------------------------------------------------------------ *)
+(* experiments                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let all_experiments =
+  Codesign_experiments.
+    [
+      ("exp1", fun ~quick () -> Exp_fig1.run ~quick ());
+      ("exp2", fun ~quick () -> Exp_fig2.run ~quick ());
+      ("exp3", fun ~quick () -> Exp_fig3.run ~quick ());
+      ("exp4", fun ~quick () -> Exp_fig4.run ~quick ());
+      ("exp5", fun ~quick () -> Exp_fig5.run ~quick ());
+      ("exp6", fun ~quick () -> Exp_fig6.run ~quick ());
+      ("exp7", fun ~quick () -> Exp_fig7.run ~quick ());
+      ("exp8", fun ~quick () -> Exp_fig8.run ~quick ());
+      ("exp9", fun ~quick () -> Exp_fig9.run ~quick ());
+      ("exp10", fun ~quick () -> Exp_criteria.run ~quick ());
+      ("expA", fun ~quick () -> Exp_ablation.run ~quick ());
+    ]
+
+let experiments_cmd =
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Small problem sizes.")
+  in
+  let names =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NAME" ~doc:"Experiment names (exp1..exp10, expA).")
+  in
+  let run quick names =
+    let selected =
+      if names = [] then all_experiments
+      else
+        List.filter (fun (n, _) -> List.mem n names) all_experiments
+    in
+    if selected = [] then
+      Error (`Msg "no matching experiments (try exp1..exp10, expA)")
+    else begin
+      List.iter (fun (_, f) -> print_endline (f ~quick ())) selected;
+      Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "experiments" ~doc:"Print reproduction experiment tables.")
+    Term.(term_result (const run $ quick $ names))
+
+(* ------------------------------------------------------------------ *)
+(* partition                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let partition_cmd =
+  let budget =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget" ] ~docv:"AREA" ~doc:"Hardware area budget.")
+  in
+  let algo =
+    Arg.(
+      value
+      & opt (enum
+               [ ("greedy", `Greedy); ("kl", `Kl); ("sa", `Sa);
+                 ("gclp", `Gclp); ("exhaustive", `Exhaustive) ])
+          `Kl
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: greedy | kl | sa | gclp | exhaustive.")
+  in
+  let run seed tasks budget algo =
+    let g =
+      Tgff.generate { Tgff.default_spec with Tgff.seed; n_tasks = tasks }
+    in
+    Format.printf "%a@.@." T.pp g;
+    let r =
+      match algo with
+      | `Greedy -> Partition.greedy ?max_area:budget g
+      | `Kl -> Partition.kl ?max_area:budget g
+      | `Sa -> Partition.simulated_annealing ?max_area:budget g
+      | `Gclp -> Partition.gclp ?max_area:budget g
+      | `Exhaustive -> Partition.exhaustive ?max_area:budget g
+    in
+    let e = r.Partition.eval in
+    Printf.printf
+      "%s: latency %d (all-SW %d, speedup %.2fx), hw area %d, %d/%d tasks \
+       in hw, deadline %s, %d cost evaluations\n"
+      r.Partition.algorithm e.Cost.latency e.Cost.all_sw_latency
+      e.Cost.speedup e.Cost.hw_area e.Cost.n_hw (T.n_tasks g)
+      (if e.Cost.meets_deadline then "met" else "MISSED")
+      r.Partition.evaluations;
+    Printf.printf "hardware tasks: %s\n"
+      (String.concat ", "
+         (List.filteri (fun i _ -> r.Partition.partition.(i))
+            (Array.to_list g.T.tasks)
+         |> List.map (fun (t : T.task) -> t.T.name)))
+  in
+  Cmd.v
+    (Cmd.info "partition" ~doc:"Partition a generated task graph.")
+    Term.(const run $ seed_arg $ tasks_arg $ budget $ algo)
+
+(* ------------------------------------------------------------------ *)
+(* cosynth                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let cosynth_cmd =
+  let algo =
+    Arg.(
+      value
+      & opt (enum
+               [ ("sos", `Sos); ("binpack", `Binpack);
+                 ("sensitivity", `Sensitivity) ])
+          `Sos
+      & info [ "algo" ] ~docv:"ALGO"
+          ~doc:"Algorithm: sos | binpack | sensitivity.")
+  in
+  let run seed tasks algo =
+    let g =
+      Tgff.generate
+        { Tgff.default_spec with Tgff.seed; n_tasks = tasks;
+          deadline_factor = 1.1 }
+    in
+    let exec =
+      Array.map
+        (fun (t : T.task) ->
+          [| max 1 (t.T.sw_cycles / 4); max 1 (t.T.sw_cycles / 2);
+             t.T.sw_cycles |])
+        g.T.tasks
+    in
+    let pb =
+      Cosynth.problem g
+        [ { Cosynth.pt_name = "fast"; price = 100 };
+          { Cosynth.pt_name = "mid"; price = 40 };
+          { Cosynth.pt_name = "slow"; price = 15 } ]
+        ~exec
+    in
+    let s =
+      match algo with
+      | `Sos -> Cosynth.sos pb
+      | `Binpack -> Cosynth.binpack pb
+      | `Sensitivity -> Cosynth.sensitivity pb
+    in
+    Format.printf "%a@." (fun f -> Cosynth.pp_solution f pb) s
+  in
+  Cmd.v
+    (Cmd.info "cosynth" ~doc:"Synthesise a heterogeneous multiprocessor.")
+    Term.(const run $ seed_arg $ tasks_arg $ algo)
+
+(* ------------------------------------------------------------------ *)
+(* asip                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let asip_cmd =
+  let budget =
+    Arg.(
+      value & opt int 800
+      & info [ "budget" ] ~docv:"AREA" ~doc:"Extension area budget.")
+  in
+  let run (name, proc, binds) budget =
+    let r = Asip.design ~budget proc binds in
+    Printf.printf "kernel %s, budget %d:\n" name budget;
+    Printf.printf "  occurrences: %s\n"
+      (String.concat ", "
+         (List.map
+            (fun (p, n) -> Printf.sprintf "%s x%d" p n)
+            r.Asip.occurrence_counts));
+    Printf.printf "  selected:    %s (area %d)\n"
+      (match r.Asip.selected with
+      | [] -> "-"
+      | l -> String.concat "+" (List.map (fun p -> p.Asip.pname) l))
+      r.Asip.fu_area;
+    Printf.printf "  cycles:      %d -> %d  (%.2fx, %s)\n" r.Asip.base_cycles
+      r.Asip.asip_cycles r.Asip.speedup
+      (if r.Asip.verified then "verified" else "VERIFY FAILED")
+  in
+  Cmd.v
+    (Cmd.info "asip" ~doc:"Run the ASIP extension flow on a kernel.")
+    Term.(const run $ kernel_arg $ budget)
+
+(* ------------------------------------------------------------------ *)
+(* cosim                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let cosim_cmd =
+  let level =
+    Arg.(
+      value
+      & opt (enum
+               [ ("pin", Cosim.Pin); ("tlm", Cosim.Transaction);
+                 ("driver", Cosim.Driver); ("message", Cosim.Message) ])
+          Cosim.Transaction
+      & info [ "level" ] ~docv:"LEVEL"
+          ~doc:"Abstraction: pin | tlm | driver | message.")
+  in
+  let items =
+    Arg.(value & opt int 16 & info [ "items" ] ~docv:"N" ~doc:"Stream length.")
+  in
+  let run level items =
+    let m = Cosim.run_echo_system ~level ~items () in
+    Printf.printf
+      "%s: checksum %d, %d simulated cycles, %d kernel events, %d bus ops\n"
+      (Cosim.level_name m.Cosim.level)
+      m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events m.Cosim.bus_ops
+  in
+  Cmd.v
+    (Cmd.info "cosim" ~doc:"Co-simulate the echo system at a given level.")
+    Term.(const run $ level $ items)
+
+(* ------------------------------------------------------------------ *)
+(* kernels / disasm                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let kernels_cmd =
+  let run () =
+    List.iter
+      (fun (name, proc, _) ->
+        let est = Codesign_hls.Hls.estimate proc in
+        Printf.printf "%-18s %3d stmts, hw est: %5d cycles / %5d area\n" name
+          (Codesign_ir.Behavior.static_stmts proc)
+          est.Codesign_hls.Hls.cycles est.Codesign_hls.Hls.area)
+      Kernels.all
+  in
+  Cmd.v
+    (Cmd.info "kernels" ~doc:"List the benchmark kernels.")
+    Term.(const run $ const ())
+
+let disasm_cmd =
+  let run (name, proc, _) =
+    let items, lay = Codesign_isa.Codegen.compile proc in
+    let img = Codesign_isa.Asm.assemble items in
+    Printf.printf "; %s — %d instructions, %d encoded bytes, data segment \
+                   %d words at %d\n%s"
+      name
+      (Array.length img.Codesign_isa.Asm.code)
+      (Codesign_isa.Encoding.program_bytes img.Codesign_isa.Asm.code)
+      lay.Codesign_isa.Codegen.data_words lay.Codesign_isa.Codegen.base
+      (Codesign_isa.Asm.print items)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Show a kernel's compiled assembly.")
+    Term.(const run $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let info =
+    Cmd.info "codesign" ~version:"1.0.0"
+      ~doc:
+        "Mixed hardware/software system design — reproduction of Adams & \
+         Thomas, DAC 1996."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            experiments_cmd; partition_cmd; cosynth_cmd; asip_cmd; cosim_cmd;
+            kernels_cmd; disasm_cmd;
+          ]))

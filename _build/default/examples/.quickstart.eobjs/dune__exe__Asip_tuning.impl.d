@@ -1,0 +1,1 @@
+examples/asip_tuning.ml: Asip Codesign Codesign_workloads List Printf String

@@ -1,0 +1,1 @@
+examples/asip_tuning.mli:

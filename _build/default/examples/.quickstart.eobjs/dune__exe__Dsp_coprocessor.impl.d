@@ -1,0 +1,1 @@
+examples/dsp_coprocessor.ml: Codesign Codesign_hls Codesign_ir Codesign_rtl Codesign_workloads Coproc Cosim List Printf String

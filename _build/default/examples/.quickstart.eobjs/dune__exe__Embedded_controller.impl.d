@@ -1,0 +1,1 @@
+examples/embedded_controller.ml: Codesign_bus Codesign_isa Codesign_rtl Codesign_sim List Printf String

@@ -1,0 +1,1 @@
+examples/multiproc_synthesis.ml: Array Codesign Codesign_ir Codesign_workloads Cosynth Format List Printf String

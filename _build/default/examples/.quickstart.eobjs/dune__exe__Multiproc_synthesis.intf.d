@@ -1,0 +1,1 @@
+examples/multiproc_synthesis.mli:

@@ -1,0 +1,1 @@
+examples/profile_driven.ml: Array Codesign Codesign_ir Codesign_workloads Cost Hotspot List Partition Printf String

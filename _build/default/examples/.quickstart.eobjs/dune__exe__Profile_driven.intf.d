@@ -1,0 +1,1 @@
+examples/profile_driven.mli:

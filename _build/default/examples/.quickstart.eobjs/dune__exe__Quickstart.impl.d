@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Codesign Codesign_ir Codesign_rtl Cost Format List Partition Printf String Taxonomy

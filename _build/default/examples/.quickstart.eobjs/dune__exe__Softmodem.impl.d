@@ -1,0 +1,1 @@
+examples/softmodem.ml: Array Codesign Codesign_hls Codesign_ir Codesign_workloads Cosim Cost Hotspot List Partition Printf String

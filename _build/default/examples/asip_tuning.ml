@@ -1,0 +1,53 @@
+(* ASIP tuning (paper Fig. 6/7, §4.3/4.4): extend the processor's
+   instruction set for an application, with measured (not estimated)
+   speedups, then explore the field-programmable variant.
+
+     dune exec examples/asip_tuning.exe                                 *)
+
+open Codesign
+module Kernels = Codesign_workloads.Kernels
+
+let () =
+  Printf.printf
+    "ASIP instruction-set extension (area budget 800 NAND-eq):\n\n";
+  Printf.printf "  %-18s %-24s %10s %10s %8s\n" "kernel" "extensions"
+    "base cyc" "asip cyc" "speedup";
+  List.iter
+    (fun (name, proc, binds) ->
+      let r = Asip.design proc binds in
+      Printf.printf "  %-18s %-24s %10d %10d %7.2fx %s\n" name
+        (match r.Asip.selected with
+        | [] -> "-"
+        | l -> String.concat "+" (List.map (fun p -> p.Asip.pname) l))
+        r.Asip.base_cycles r.Asip.asip_cycles r.Asip.speedup
+        (if r.Asip.verified then "" else "  ** VERIFY FAILED **"))
+    Kernels.all;
+
+  (* how one kernel's custom instruction actually looks *)
+  let _, fir, _ = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let occs = Asip.occurrences fir in
+  Printf.printf "\nPattern occurrences in fir (trip-weighted):\n";
+  List.iter
+    (fun (p, n) ->
+      Printf.printf
+        "  %-10s %4d occurrences  (saves %d cycles each, %d area)\n"
+        p.Asip.pname n
+        (p.Asip.sw_cycles - p.Asip.latency)
+        p.Asip.area)
+    occs;
+
+  (* the reconfigurable-fabric variant: one fabric, two very different
+     applications *)
+  let app n = let _, p, b = List.find (fun (m, _, _) -> m = n) Kernels.all in (p, b) in
+  let mix = [ app "fir"; app "crc32"; app "fir"; app "crc32" ] in
+  Printf.printf
+    "\nReconfigurable FUs (fabric capacity 400, alternating fir/crc32):\n";
+  List.iter
+    (fun cost ->
+      let o = Asip.Reconfig.compare ~capacity:400 ~reconfig_cost:cost mix in
+      Printf.printf
+        "  reconfig cost %6d: static %6d cyc, dynamic %6d cyc (%d \
+         reconfigs) -> %s wins\n"
+        cost o.Asip.Reconfig.static_cycles o.Asip.Reconfig.dynamic_cycles
+        o.Asip.Reconfig.reconfigurations o.Asip.Reconfig.winner)
+    [ 0; 500; 2000; 50_000 ]

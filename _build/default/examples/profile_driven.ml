@@ -1,0 +1,53 @@
+(* Profile-driven partitioning (paper §3.3 "performance requirements" /
+   §4.5 [17]): measure where the software actually spends its cycles,
+   then let the partitioner act on measurements instead of estimates —
+   the COSYMA loop.
+
+     dune exec examples/profile_driven.exe                              *)
+
+open Codesign
+module T = Codesign_ir.Task_graph
+module Kernels = Codesign_workloads.Kernels
+
+let () =
+  (* 1. Profile one application on the ISS. *)
+  let _, fir, binds = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let p = Hotspot.analyze fir binds in
+  Printf.printf "fir executes %d cycles; hottest regions:\n"
+    p.Hotspot.total_cycles;
+  List.iter
+    (fun (r : Hotspot.region) ->
+      Printf.printf "  %-12s %6d cycles  %5.1f%%\n" r.Hotspot.label
+        r.Hotspot.cycles
+        (100. *. r.Hotspot.fraction))
+    (Hotspot.hot_regions ~coverage:0.95 p);
+
+  (* 2. Build a processing pipeline out of measured stages. *)
+  let stage n = let _, pr, b = List.find (fun (m, _, _) -> m = n) Kernels.all in (pr, b) in
+  let g =
+    Hotspot.to_task_graph ~name:"measured-pipeline" ~deadline_factor:0.45
+      [ stage "fir"; stage "crc32"; stage "histogram"; stage "matmul" ]
+  in
+  Printf.printf "\nPipeline of measured stages:\n";
+  Array.iter
+    (fun (t : T.task) ->
+      Printf.printf
+        "  %-12s sw %6d cycles (measured)   hw %5d cycles / %5d area \
+         (HLS estimate)\n"
+        t.T.name t.T.sw_cycles t.T.hw_cycles t.T.hw_area)
+    g.T.tasks;
+  Printf.printf "deadline: %d cycles (all-SW takes %d)\n\n" g.T.deadline
+    (Cost.evaluate g (Cost.all_sw g)).Cost.all_sw_latency;
+
+  (* 3. Partition on the measurements. *)
+  let r = Partition.kl g in
+  let e = r.Partition.eval in
+  Printf.printf
+    "KL partition: move [%s] to hardware\n  -> latency %d cycles \
+     (%.2fx), area %d, deadline %s\n"
+    (String.concat ", "
+       (List.filteri (fun i _ -> r.Partition.partition.(i))
+          (Array.to_list g.T.tasks)
+       |> List.map (fun (t : T.task) -> t.T.name)))
+    e.Cost.latency e.Cost.speedup e.Cost.hw_area
+    (if e.Cost.meets_deadline then "met" else "missed")

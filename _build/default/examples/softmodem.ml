@@ -1,0 +1,138 @@
+(* The closed co-design loop on a soft-modem-like stream application:
+
+     1. specify the system as a process network (producer, three
+        processing stages of very different weights, consumer);
+     2. MEASURE each stage's software cost on the ISS and ESTIMATE its
+        hardware cost with HLS;
+     3. let the partitioner decide which stages become co-processor
+        threads, under an area budget;
+     4. VALIDATE the decision by co-simulating the network before and
+        after — same checksum, measured speedup.
+
+   This is the §3.2 promise of co-synthesis ("reconfigure the hardware
+   and software to find the best overall organization as the design
+   evolves") executed end to end, with the model-predicted choice
+   checked against simulation rather than trusted.
+
+     dune exec examples/softmodem.exe                                   *)
+
+open Codesign
+module B = Codesign_ir.Behavior
+module T = Codesign_ir.Task_graph
+module Pn = Codesign_ir.Process_network
+module Apps = Codesign_workloads.Apps
+
+let items = 12
+
+(* three stages with very different computational weights *)
+let stage_specs =
+  [ ("equalise", 40); ("demodulate", 12); ("descramble", 3) ]
+
+let net =
+  let chan k = Printf.sprintf "c%d" k in
+  let procs =
+    (Apps.producer ~chan:(chan 0) ~count:items (), Pn.Sw)
+    :: List.mapi
+         (fun i (name, work) ->
+           ( Apps.transform ~name ~in_chan:(chan i) ~out_chan:(chan (i + 1))
+               ~count:items ~work (),
+             Pn.Sw ))
+         stage_specs
+    @ [
+        ( Apps.consumer
+            ~chan:(chan (List.length stage_specs))
+            ~count:items ~port:1 (),
+          Pn.Sw );
+      ]
+  in
+  let channels =
+    List.init
+      (List.length stage_specs + 1)
+      (fun k ->
+        {
+          Pn.cname = chan k;
+          src =
+            (if k = 0 then "producer" else fst (List.nth stage_specs (k - 1)));
+          dst =
+            (if k = List.length stage_specs then "consumer"
+             else fst (List.nth stage_specs k));
+          depth = 2;
+        })
+  in
+  Pn.make ~name:"softmodem" procs channels
+
+let chan_ports =
+  List.mapi
+    (fun i (c : Pn.channel) -> (c.Pn.cname, 100 + i))
+    net.Pn.channels
+
+let () =
+  (* 2. measure software costs, estimate hardware costs *)
+  Printf.printf "Stage characterisation (SW measured on the ISS, HW \
+                 estimated by HLS):\n";
+  let tasks =
+    List.mapi
+      (fun i (name, _) ->
+        let proc, _ = Pn.find_proc net name in
+        let prof = Hotspot.analyze ~chan_ports proc [] in
+        let est = Codesign_hls.Hls.estimate proc in
+        Printf.printf "  %-12s sw %6d cycles   hw ~%4d cycles / %4d area\n"
+          name prof.Hotspot.total_cycles est.Codesign_hls.Hls.cycles
+          est.Codesign_hls.Hls.area;
+        T.task ~id:i ~name ~sw_cycles:prof.Hotspot.total_cycles
+          ~hw_cycles:est.Codesign_hls.Hls.cycles
+          ~hw_area:est.Codesign_hls.Hls.area
+          ~ops:(Hotspot.consistent_mix est) ())
+      stage_specs
+  in
+  let g =
+    T.make ~name:"softmodem"
+      tasks
+      (List.init
+         (List.length tasks - 1)
+         (fun i -> { T.src = i; dst = i + 1; words = items }))
+  in
+
+  (* 3. partition under a budget that cannot fit everything *)
+  let budget = 800 in
+  let r = Partition.kl ~max_area:budget g in
+  let chosen =
+    List.filteri (fun i _ -> r.Partition.partition.(i)) stage_specs
+    |> List.map fst
+  in
+  Printf.printf
+    "\nPartitioner (kl, area budget %d): move [%s] to the co-processor\n\
+    \  model predicts %.2fx at %d shared area (identical stages share \
+     functional units -- the Vahid-Gajski effect; realised as separate \
+     threads they cost more)\n"
+    budget
+    (String.concat ", " chosen)
+    r.Partition.eval.Cost.speedup r.Partition.eval.Cost.hw_area;
+
+  (* 4. validate by co-simulation *)
+  let sw_run = Cosim.run_network net in
+  let hw_net = Pn.remap net (List.map (fun n -> (n, Pn.Hw)) chosen) in
+  let hw_run = Cosim.run_network hw_net in
+  let out run =
+    match run.Cosim.port_writes with (_, _, v) :: _ -> v | [] -> 0
+  in
+  Printf.printf "\nCo-simulation:\n";
+  Printf.printf "  all software:        %6d cycles, checksum %d\n"
+    sw_run.Cosim.end_time (out sw_run);
+  Printf.printf
+    "  chosen partition:    %6d cycles, checksum %d  (measured %.2fx, hw \
+     area %d)\n"
+    hw_run.Cosim.end_time (out hw_run)
+    (float_of_int sw_run.Cosim.end_time /. float_of_int hw_run.Cosim.end_time)
+    hw_run.Cosim.hw_area;
+  if out sw_run <> out hw_run then print_endline "  ** FUNCTIONAL MISMATCH **"
+  else print_endline "  functional equivalence: VERIFIED";
+
+  (* for comparison: what if we had moved the lightest stage instead? *)
+  let wrong =
+    Cosim.run_network (Pn.remap net [ ("descramble", Pn.Hw) ])
+  in
+  Printf.printf
+    "  (moving only the lightest stage instead: %d cycles — the \
+     partitioner's choice matters)\n"
+    wrong.Cosim.end_time

@@ -1,0 +1,1 @@
+lib/bus/bus.ml: Codesign_sim Memory_map Queue

@@ -1,0 +1,1 @@
+lib/bus/bus.mli: Codesign_sim Memory_map

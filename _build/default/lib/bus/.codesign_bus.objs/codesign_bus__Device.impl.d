@@ -1,0 +1,1 @@
+lib/bus/device.ml: Codesign_sim Interrupt List Memory_map Queue

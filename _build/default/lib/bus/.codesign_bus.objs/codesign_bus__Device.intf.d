@@ -1,0 +1,1 @@
+lib/bus/device.mli: Codesign_sim Interrupt Memory_map

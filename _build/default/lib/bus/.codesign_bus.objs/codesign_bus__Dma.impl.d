@@ -1,0 +1,1 @@
+lib/bus/dma.ml: Bus Codesign_sim Interrupt Memory_map

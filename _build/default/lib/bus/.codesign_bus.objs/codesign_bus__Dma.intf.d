@@ -1,0 +1,1 @@
+lib/bus/dma.mli: Bus Codesign_sim Interrupt Memory_map

@@ -1,0 +1,1 @@
+lib/bus/interface_synth.ml: Codesign_isa Codesign_rtl List Printf

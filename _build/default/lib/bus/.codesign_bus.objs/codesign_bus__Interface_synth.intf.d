@@ -1,0 +1,1 @@
+lib/bus/interface_synth.mli: Codesign_isa Codesign_rtl

@@ -1,0 +1,1 @@
+lib/bus/interrupt.ml: Memory_map Printf

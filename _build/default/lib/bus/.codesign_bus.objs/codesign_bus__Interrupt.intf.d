@@ -1,0 +1,1 @@
+lib/bus/interrupt.mli: Memory_map

@@ -1,0 +1,1 @@
+lib/bus/memory_map.mli:

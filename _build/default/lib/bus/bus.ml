@@ -1,0 +1,209 @@
+module K = Codesign_sim.Kernel
+module S = Codesign_sim.Signal
+
+type stats = { reads : int; writes : int; stalls : int; busy_cycles : int }
+
+(* FIFO-fair mutual exclusion shared by both models. *)
+module Arbiter = struct
+  type t = {
+    mutable busy : bool;
+    waiters : (unit -> unit) Queue.t;
+    mutable stall_count : int;
+  }
+
+  let create () = { busy = false; waiters = Queue.create (); stall_count = 0 }
+
+  let acquire t =
+    if t.busy then begin
+      t.stall_count <- t.stall_count + 1;
+      K.suspend ~register:(fun resume -> Queue.push resume t.waiters)
+      (* ownership is handed over directly by [release] *)
+    end
+    else t.busy <- true
+
+  let release t =
+    if Queue.is_empty t.waiters then t.busy <- false
+    else (Queue.pop t.waiters) ()
+end
+
+module Tlm = struct
+  type t = {
+    kernel : K.t;
+    map : Memory_map.t;
+    read_latency : int;
+    write_latency : int;
+    arb : Arbiter.t;
+    mutable reads : int;
+    mutable writes : int;
+    mutable busy_cycles : int;
+  }
+
+  let create ?(read_latency = 2) ?(write_latency = 2) kernel map =
+    {
+      kernel;
+      map;
+      read_latency;
+      write_latency;
+      arb = Arbiter.create ();
+      reads = 0;
+      writes = 0;
+      busy_cycles = 0;
+    }
+
+  let read t addr =
+    Arbiter.acquire t.arb;
+    K.wait t.read_latency;
+    let v = Memory_map.read t.map addr in
+    t.reads <- t.reads + 1;
+    t.busy_cycles <- t.busy_cycles + t.read_latency;
+    Arbiter.release t.arb;
+    v
+
+  let write t addr v =
+    Arbiter.acquire t.arb;
+    K.wait t.write_latency;
+    Memory_map.write t.map addr v;
+    t.writes <- t.writes + 1;
+    t.busy_cycles <- t.busy_cycles + t.write_latency;
+    Arbiter.release t.arb
+
+  let stats t =
+    {
+      reads = t.reads;
+      writes = t.writes;
+      stalls = t.arb.Arbiter.stall_count;
+      busy_cycles = t.busy_cycles;
+    }
+end
+
+module Pin = struct
+  type t = {
+    kernel : K.t;
+    map : Memory_map.t;
+    setup_cycles : int;
+    arb : Arbiter.t;
+    addr : int S.t;
+    wdata_rdata : int S.t;  (** shared data bus *)
+    req : int S.t;
+    ack : int S.t;
+    we : int S.t;
+    mutable reads : int;
+    mutable writes : int;
+    mutable busy_cycles : int;
+  }
+
+  let create ?(setup_cycles = 1) kernel map =
+    let t =
+      {
+        kernel;
+        map;
+        setup_cycles;
+        arb = Arbiter.create ();
+        addr = S.create ~name:"bus.addr" kernel 0;
+        wdata_rdata = S.create ~name:"bus.data" kernel 0;
+        req = S.create ~name:"bus.req" kernel 0;
+        ack = S.create ~name:"bus.ack" kernel 0;
+        we = S.create ~name:"bus.we" kernel 0;
+        reads = 0;
+        writes = 0;
+        busy_cycles = 0;
+      }
+    in
+    (* The slave side: an autonomous process decoding every request.
+       One request at a time is guaranteed by the arbiter. *)
+    K.spawn ~name:"bus.slave" kernel (fun () ->
+        let rec serve () =
+          ignore (S.await t.req (fun v -> v = 1));
+          let a = S.read t.addr in
+          let ws = Memory_map.wait_states t.map a in
+          K.wait (t.setup_cycles + ws);
+          if S.read t.we = 1 then
+            Memory_map.write t.map a (S.read t.wdata_rdata)
+          else S.write t.wdata_rdata (Memory_map.read t.map a);
+          K.wait 1;
+          S.pulse t.ack 1;
+          (* wait for the master to drop the request, then complete *)
+          ignore (S.await t.req (fun v -> v = 0));
+          S.write t.ack 0;
+          serve ()
+        in
+        serve ());
+    t
+
+  let transfer t addr ~we ~value =
+    Arbiter.acquire t.arb;
+    let start = K.now t.kernel in
+    S.write t.addr addr;
+    S.write t.we (if we then 1 else 0);
+    if we then S.write t.wdata_rdata value;
+    S.pulse t.req 1;
+    ignore (S.await t.ack (fun v -> v = 1));
+    let result = if we then 0 else S.read t.wdata_rdata in
+    S.write t.req 0;
+    ignore (S.await t.ack (fun v -> v = 0));
+    (* bus turnaround: the handshake release costs a cycle that the
+       transaction-level model's fixed latency does not account for *)
+    K.wait 1;
+    t.busy_cycles <- t.busy_cycles + (K.now t.kernel - start);
+    Arbiter.release t.arb;
+    result
+
+  let read t addr =
+    let v = transfer t addr ~we:false ~value:0 in
+    t.reads <- t.reads + 1;
+    v
+
+  let write t addr v =
+    ignore (transfer t addr ~we:true ~value:v);
+    t.writes <- t.writes + 1
+
+  let stats t =
+    {
+      reads = t.reads;
+      writes = t.writes;
+      stalls = t.arb.Arbiter.stall_count;
+      busy_cycles = t.busy_cycles;
+    }
+
+  let addr_wire t = t.addr
+  let data_wire t = t.wdata_rdata
+  let req_wire t = t.req
+  let ack_wire t = t.ack
+  let we_wire t = t.we
+end
+
+type iface = {
+  bus_read : int -> int;
+  bus_write : int -> int -> unit;
+  bus_stats : unit -> stats;
+}
+
+let tlm_iface b =
+  {
+    bus_read = Tlm.read b;
+    bus_write = Tlm.write b;
+    bus_stats = (fun () -> Tlm.stats b);
+  }
+
+let pin_iface b =
+  {
+    bus_read = Pin.read b;
+    bus_write = Pin.write b;
+    bus_stats = (fun () -> Pin.stats b);
+  }
+
+let zero_iface map =
+  let reads = ref 0 and writes = ref 0 in
+  {
+    bus_read =
+      (fun a ->
+        incr reads;
+        Memory_map.read map a);
+    bus_write =
+      (fun a v ->
+        incr writes;
+        Memory_map.write map a v);
+    bus_stats =
+      (fun () ->
+        { reads = !reads; writes = !writes; stalls = 0; busy_cycles = 0 });
+  }

@@ -1,0 +1,82 @@
+(** The system bus, modelled at the two abstraction levels of the
+    paper's Fig. 3 ladder that involve bus activity:
+
+    - {!Tlm}: transaction-level — an access is one blocking call that
+      charges a fixed base latency plus arbitration.  Device wait states
+      are {i ignored} (that is the abstraction's approximation, and the
+      source of its timing error against the pin-level reference).
+    - {!Pin}: pin/cycle-level — the bus is a set of {!Codesign_sim.Signal}
+      wires driven through an explicit clocked request/acknowledge
+      protocol; device wait states stretch the acknowledge, so timing is
+      exact.  Costs many kernel events per transfer.
+
+    Both decode through the same {!Memory_map}, so they are functionally
+    interchangeable; co-simulation experiments (EXP-3) swap one for the
+    other and measure the accuracy/speed trade-off.
+
+    Arbitration is first-come-first-served and fair in both models. *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  stalls : int;  (** accesses that had to wait for the bus *)
+  busy_cycles : int;  (** cycles the bus spent occupied *)
+}
+
+(** Transaction-level model. *)
+module Tlm : sig
+  type t
+
+  val create :
+    ?read_latency:int ->
+    ?write_latency:int ->
+    Codesign_sim.Kernel.t ->
+    Memory_map.t ->
+    t
+  (** Latencies default to 2 cycles each. *)
+
+  val read : t -> int -> int
+  (** Blocking; must run inside a kernel process. *)
+
+  val write : t -> int -> int -> unit
+
+  val stats : t -> stats
+end
+
+(** Pin-accurate model. *)
+module Pin : sig
+  type t
+
+  val create :
+    ?setup_cycles:int -> Codesign_sim.Kernel.t -> Memory_map.t -> t
+  (** [setup_cycles] (default 1) models address/turnaround phases added
+      to every transfer on top of device wait states.  The model drives
+      its own bus clock with period 1 kernel tick per cycle. *)
+
+  val read : t -> int -> int
+  val write : t -> int -> int -> unit
+  val stats : t -> stats
+
+  (** Observable wires, for glue logic and waveform-style assertions. *)
+
+  val addr_wire : t -> int Codesign_sim.Signal.t
+  val data_wire : t -> int Codesign_sim.Signal.t
+  val req_wire : t -> int Codesign_sim.Signal.t
+  val ack_wire : t -> int Codesign_sim.Signal.t
+  val we_wire : t -> int Codesign_sim.Signal.t
+end
+
+(** A common face over both models so clients (CPU wrappers, DMA,
+    drivers) are abstraction-level-agnostic. *)
+type iface = {
+  bus_read : int -> int;
+  bus_write : int -> int -> unit;
+  bus_stats : unit -> stats;
+}
+
+val tlm_iface : Tlm.t -> iface
+val pin_iface : Pin.t -> iface
+
+val zero_iface : Memory_map.t -> iface
+(** Zero-delay functional access (the "OS message" rung of the ladder
+    uses no bus at all; this iface exists for completeness and tests). *)

@@ -1,0 +1,87 @@
+module K = Codesign_sim.Kernel
+
+type job = { src : int; dst : int; len : int }
+
+type t = {
+  kernel : K.t;
+  irq : (Interrupt.t * int) option;
+  jobs : job Codesign_sim.Channel.t;
+  mutable src_reg : int;
+  mutable dst_reg : int;
+  mutable len_reg : int;
+  mutable status : int;
+  mutable busy : bool;
+  mutable transfers : int;
+  mutable words : int;
+}
+
+let create ?irq kernel (bus : Bus.iface) () =
+  let t =
+    {
+      kernel;
+      irq;
+      jobs = Codesign_sim.Channel.create ~depth:4 ~name:"dma.jobs" kernel ();
+      src_reg = 0;
+      dst_reg = 0;
+      len_reg = 0;
+      status = 0;
+      busy = false;
+      transfers = 0;
+      words = 0;
+    }
+  in
+  K.spawn ~name:"dma" kernel (fun () ->
+      let rec serve () =
+        let job = Codesign_sim.Channel.recv t.jobs in
+        for i = 0 to job.len - 1 do
+          let v = bus.Bus.bus_read (job.src + i) in
+          bus.Bus.bus_write (job.dst + i) v;
+          t.words <- t.words + 1
+        done;
+        t.busy <- false;
+        t.status <- 1;
+        t.transfers <- t.transfers + 1;
+        (match t.irq with
+        | Some (ic, line) -> Interrupt.raise_line ic line
+        | None -> ());
+        serve ()
+      in
+      serve ());
+  t
+
+let start t ~src ~dst ~len =
+  if t.busy then invalid_arg "Dma.start: engine busy";
+  if len < 0 then invalid_arg "Dma.start: negative length";
+  t.busy <- true;
+  t.status <- 0;
+  if not (Codesign_sim.Channel.try_send t.jobs { src; dst; len }) then begin
+    t.busy <- false;
+    invalid_arg "Dma.start: job queue full"
+  end
+
+let region ~name ~base t =
+  let dev_read = function
+    | 0 -> t.src_reg
+    | 1 -> t.dst_reg
+    | 2 -> t.len_reg
+    | 3 -> if t.busy then 1 else 0
+    | 4 -> t.status
+    | _ -> 0
+  in
+  let dev_write off v =
+    match off with
+    | 0 -> t.src_reg <- v
+    | 1 -> t.dst_reg <- v
+    | 2 -> t.len_reg <- v
+    | 3 ->
+        if v land 1 = 1 then
+          start t ~src:t.src_reg ~dst:t.dst_reg ~len:t.len_reg
+    | 4 -> t.status <- 0
+    | _ -> ()
+  in
+  Memory_map.device ~name ~base ~size:5
+    (Memory_map.simple_handlers dev_read dev_write)
+
+let busy t = t.busy
+let transfers_completed t = t.transfers
+let words_moved t = t.words

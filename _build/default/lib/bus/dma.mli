@@ -1,0 +1,29 @@
+(** A descriptor-driven DMA engine — the bulk-transfer path that lets a
+    co-processor or device move data without CPU involvement.
+
+    Register window (word offsets): 0 SRC, 1 DST, 2 LEN,
+    3 CTRL (write 1 to start), 4 STATUS (1 = done, any write clears).
+
+    The engine is a kernel process performing word-by-word bus transfers
+    through a {!Bus.iface}, so it competes for the bus with the CPU
+    exactly like real hardware; completion optionally raises an
+    interrupt line. *)
+
+type t
+
+val create :
+  ?irq:Interrupt.t * int ->
+  Codesign_sim.Kernel.t ->
+  Bus.iface ->
+  unit ->
+  t
+
+val region : name:string -> base:int -> t -> Memory_map.region
+
+val busy : t -> bool
+val transfers_completed : t -> int
+val words_moved : t -> int
+
+val start : t -> src:int -> dst:int -> len:int -> unit
+(** Programmatic start (equivalent to writing the registers).
+    @raise Invalid_argument if already busy or [len < 0]. *)

@@ -1,0 +1,93 @@
+type handlers = {
+  dev_read : int -> int;
+  dev_write : int -> int -> unit;
+  wait_states : int -> int;
+}
+
+type region_kind = Ram of int array | Rom of int array | Device of handlers
+type region = { name : string; base : int; size : int; kind : region_kind }
+type t = { sorted : region array }
+
+let create regions =
+  List.iter
+    (fun r ->
+      if r.size <= 0 then
+        invalid_arg ("Memory_map: empty region " ^ r.name);
+      if r.base < 0 then
+        invalid_arg ("Memory_map: negative base for " ^ r.name);
+      match r.kind with
+      | Ram a | Rom a ->
+          if Array.length a <> r.size then
+            invalid_arg
+              ("Memory_map: backing array size mismatch for " ^ r.name)
+      | Device _ -> ())
+    regions;
+  let sorted =
+    Array.of_list (List.sort (fun a b -> compare a.base b.base) regions)
+  in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let prev = sorted.(i - 1) in
+        if prev.base + prev.size > r.base then
+          invalid_arg
+            (Printf.sprintf "Memory_map: regions %s and %s overlap" prev.name
+               r.name)
+      end)
+    sorted;
+  { sorted }
+
+let regions t = Array.to_list t.sorted
+
+let decode t addr =
+  (* binary search for the region containing addr *)
+  let lo = ref 0 and hi = ref (Array.length t.sorted - 1) in
+  let found = ref None in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    let r = t.sorted.(mid) in
+    if addr < r.base then hi := mid - 1
+    else if addr >= r.base + r.size then lo := mid + 1
+    else begin
+      found := Some (r, addr - r.base);
+      lo := !hi + 1
+    end
+  done;
+  !found
+
+let read t addr =
+  match decode t addr with
+  | None ->
+      invalid_arg (Printf.sprintf "Memory_map.read: unmapped address %d" addr)
+  | Some (r, off) -> (
+      match r.kind with
+      | Ram a | Rom a -> a.(off)
+      | Device h -> h.dev_read off)
+
+let write t addr v =
+  match decode t addr with
+  | None ->
+      invalid_arg
+        (Printf.sprintf "Memory_map.write: unmapped address %d" addr)
+  | Some (r, off) -> (
+      match r.kind with
+      | Ram a -> a.(off) <- v
+      | Rom _ ->
+          invalid_arg
+            (Printf.sprintf "Memory_map.write: write to ROM %s" r.name)
+      | Device h -> h.dev_write off v)
+
+let wait_states t addr =
+  match decode t addr with
+  | Some ({ kind = Device h; _ }, off) -> h.wait_states off
+  | _ -> 0
+
+let ram ~name ~base ~size = { name; base; size; kind = Ram (Array.make size 0) }
+let rom ~name ~base data =
+  { name; base; size = Array.length data; kind = Rom data }
+
+let device ~name ~base ~size handlers =
+  { name; base; size; kind = Device handlers }
+
+let simple_handlers ?(wait_states = fun _ -> 0) dev_read dev_write =
+  { dev_read; dev_write; wait_states }

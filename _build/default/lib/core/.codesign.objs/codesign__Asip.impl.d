@@ -1,0 +1,1 @@
+lib/core/asip.ml: Array Codesign_ir Codesign_isa Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/core/asip.mli: Codesign_ir

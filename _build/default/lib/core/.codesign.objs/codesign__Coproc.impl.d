@@ -1,0 +1,1 @@
+lib/core/coproc.ml: Array Codesign_hls Codesign_ir Cosim List

@@ -1,0 +1,1 @@
+lib/core/coproc.mli: Codesign_ir

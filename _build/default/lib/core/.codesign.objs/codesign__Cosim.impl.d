@@ -1,0 +1,1 @@
+lib/core/cosim.ml: Codesign_bus Codesign_hls Codesign_ir Codesign_isa Codesign_sim Hashtbl List Printf Queue

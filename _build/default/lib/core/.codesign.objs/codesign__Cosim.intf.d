@@ -1,0 +1,1 @@
+lib/core/cosim.mli: Codesign_ir

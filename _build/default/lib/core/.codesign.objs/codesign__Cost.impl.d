@@ -1,0 +1,1 @@
+lib/core/cost.ml: Array Codesign_ir Codesign_rtl Fun List

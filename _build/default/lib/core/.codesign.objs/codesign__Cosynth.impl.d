@@ -1,0 +1,1 @@
+lib/core/cosynth.ml: Array Codesign_ir Format Fun List String

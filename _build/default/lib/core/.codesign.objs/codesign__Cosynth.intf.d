@@ -1,0 +1,1 @@
+lib/core/cosynth.mli: Codesign_ir Format

@@ -1,0 +1,1 @@
+lib/core/hotspot.ml: Codesign_hls Codesign_ir Codesign_isa Codesign_rtl List

@@ -1,0 +1,1 @@
+lib/core/periodic.ml: Array Codesign_ir Cosynth Format Fun Hashtbl List Printf String

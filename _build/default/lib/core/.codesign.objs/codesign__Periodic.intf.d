@@ -1,0 +1,1 @@
+lib/core/periodic.mli: Codesign_ir Cosynth Format

@@ -1,0 +1,93 @@
+(** Hardware/software co-simulation (paper §3.1, Figs. 3).
+
+    Two services:
+
+    {2 The abstraction ladder}
+
+    {!run_echo_system} simulates one fixed embedded application — a data
+    source device, a software transform running on the processor, a data
+    sink device — at each of the four Fig. 3 abstraction levels:
+
+    - {!Pin}: ISS + pin/cycle-accurate bus (wait states visible) — the
+      timing reference [4];
+    - {!Transaction}: ISS + transaction-level bus (fixed access latency);
+    - {!Driver}: ISS + zero-bus device access charged a fixed
+      driver-call cost;
+    - {!Message}: no ISS at all — communicating processes with
+      statement-approximate software timing over kernel channels [2][3].
+
+    The application is functionally identical at every level (same values
+    stream through), so the experiment isolates exactly what the paper
+    claims the ladder trades: timing fidelity against simulation cost
+    (kernel events / process activations).
+
+    {2 Process-network execution}
+
+    {!run_network} executes a {!Codesign_ir.Process_network}: software
+    processes are compiled and run on ISS instances that share one CPU
+    through a scheduler token (an idealised RTOS); hardware processes
+    run as timed behavioural threads whose per-statement cost comes from
+    HLS estimation, optionally grouped onto a bounded number of hardware
+    engines (one FSMD controller each — the multi-threaded co-processor
+    of §4.6).  Channels are the kernel's blocking FIFOs. *)
+
+type level = Pin | Transaction | Driver | Message
+
+val level_name : level -> string
+
+type metrics = {
+  level : level;
+  checksum : int;  (** functional output (identical across levels) *)
+  sim_cycles : int;  (** simulated completion time *)
+  events : int;  (** kernel events dispatched *)
+  activations : int;  (** process activations *)
+  bus_ops : int;  (** bus/driver accesses performed (0 at Message) *)
+}
+
+val run_echo_system :
+  level:level ->
+  ?items:int ->
+  ?work:int ->
+  ?src_period:int ->
+  ?sink_period:int ->
+  unit ->
+  metrics
+(** Defaults: 16 items, transform work 8, source period 200, sink
+    period 120.  The sink period exceeding the bus latency makes device
+    wait states material, which is what separates {!Pin} from
+    {!Transaction} timing. *)
+
+(** {2 Process networks} *)
+
+type network_result = {
+  end_time : int;
+  net_events : int;
+  net_activations : int;
+  port_writes : (string * int * int) list;
+      (** (process, port, value), in completion order *)
+  hw_area : int;  (** summed HLS-estimated area of hardware processes *)
+  sw_results : (string * (string * int) list) list;
+      (** per software process: its behaviour's result variables *)
+}
+
+val run_network :
+  ?hw_engines:(string * int) list ->
+  ?sw_cpi:int ->
+  ?cross_cost:int ->
+  ?until:int ->
+  Codesign_ir.Process_network.t ->
+  network_result
+(** [hw_engines] assigns hardware processes to engine ids; processes on
+    the same engine serialise (default: each its own engine).
+    [sw_cpi] is unused at present (software timing is the ISS's own
+    cycle counting) and reserved.  [cross_cost] charges the sender that
+    many extra cycles per message on channels whose endpoints live on
+    different engines (software counts as one engine) — the §3.3
+    "communication" factor made physical (default 0).  [until] bounds
+    simulated time when given; without it a deadlocked network raises.
+    @raise Codesign_sim.Kernel.Deadlock if the network deadlocks. *)
+
+val hw_stmt_cycles : Codesign_ir.Behavior.proc -> int
+(** Per-dynamic-statement hardware cost derived from the HLS estimate of
+    the behaviour (used by the timed hardware threads; exposed for
+    tests). *)

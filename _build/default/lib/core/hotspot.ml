@@ -1,0 +1,131 @@
+(** Profile-driven hot-spot analysis — the front half of COSYMA-style
+    partitioning (paper §4.5 ref [17]): run the software, attribute
+    cycles to source regions, and derive hardware-extraction candidates.
+
+    The code generator labels every loop head, so the ISS profiler's
+    per-label aggregation maps measured cycles back onto source loops.
+    {!analyze} packages that into ranked regions; {!to_task_graph} turns
+    the regions of a straight-line pipeline of behaviours into a task
+    graph whose software costs are {i measured}, ready for
+    {!Partition}. *)
+
+module B = Codesign_ir.Behavior
+module T = Codesign_ir.Task_graph
+module Cpu = Codesign_isa.Cpu
+module Codegen = Codesign_isa.Codegen
+module Asm = Codesign_isa.Asm
+module Profiler = Codesign_isa.Profiler
+
+type region = {
+  label : string;  (** generated code label ("for_3", "<entry>", ...) *)
+  cycles : int;
+  fraction : float;  (** of total execution *)
+}
+
+type profile = {
+  total_cycles : int;
+  regions : region list;  (** descending by cycles *)
+  results : (string * int) list;  (** the behaviour's outputs *)
+}
+
+(** [analyze proc bindings] compiles, runs and profiles one behaviour.
+    Channelised behaviours need [chan_ports] (channel-name -> port id);
+    unless [env] supplies port hooks, their receives read 0 — fine for
+    data-independent control flow, which is what the profile measures.
+    @raise Failure if the compiled program traps. *)
+let analyze ?(env = Cpu.default_env) ?chan_ports (proc : B.proc) bindings =
+  let items, lay = Codegen.compile ?chan_ports proc in
+  let img = Asm.assemble items in
+  let cpu = Cpu.create ~env img.Asm.code in
+  let prof = Profiler.attach cpu img in
+  Codegen.bind lay cpu bindings;
+  (match Cpu.run cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Trapped m -> failwith ("Hotspot.analyze: trapped: " ^ m)
+  | Cpu.Running -> assert false);
+  let total = Profiler.total_cycles prof in
+  {
+    total_cycles = total;
+    regions =
+      List.map
+        (fun (label, cycles) ->
+          {
+            label;
+            cycles;
+            fraction = float_of_int cycles /. float_of_int (max total 1);
+          })
+        (Profiler.by_label prof);
+    results = List.map (fun v -> (v, Codegen.result lay cpu v)) proc.B.results;
+  }
+
+(** Hottest regions covering at least [coverage] (default 0.9) of the
+    execution — the candidates COSYMA-style extraction would consider. *)
+let hot_regions ?(coverage = 0.9) profile =
+  let rec take acc covered = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        if covered >= coverage then List.rev acc
+        else take (r :: acc) (covered +. r.fraction) rest
+  in
+  take [] 0.0 profile.regions
+
+(** Rescale an HLS estimate's trip-weighted operation mix so that the
+    standalone-area estimator reproduces the HLS area: the sharing
+    estimator's inputs are *datapath* operation demands, not dynamic
+    operation counts.  Keeps the kind structure (so cross-task sharing
+    still works) while making [Estimate.standalone_area (consistent_mix
+    est)] track [est.area]. *)
+let consistent_mix (est : Codesign_hls.Hls.behavior_estimate) =
+  let module E = Codesign_rtl.Estimate in
+  let mix = est.Codesign_hls.Hls.mix in
+  let target = est.Codesign_hls.Hls.area in
+  if mix = [] then [ ("add", max 1 (target / 32)) ]
+  else begin
+    let sa = max 1 (E.standalone_area mix) in
+    let scaled =
+      List.map (fun (k, n) -> (k, max 1 (n * target / sa))) mix
+    in
+    (* the unit quantisation of fu_need can leave the rescaled mix above
+       the target; shrink multiplicatively until it fits or bottoms out *)
+    let rec fit mix' =
+      if
+        E.standalone_area mix' <= target
+        || List.for_all (fun (_, n) -> n = 1) mix'
+      then mix'
+      else fit (List.map (fun (k, n) -> (k, max 1 (n * 4 / 5))) mix')
+    in
+    fit scaled
+  end
+
+(** Build a task graph from a pipeline of behaviours with measured
+    software costs: each stage is profiled on the ISS ([bindings] per
+    stage), its hardware cost estimated by HLS, and stages are chained
+    with the given inter-stage data volume.  This closes the loop the
+    paper's §3.3 "performance requirements" discussion describes:
+    partitioning driven by measurement, not guesses. *)
+let to_task_graph ?(name = "profiled") ?(words = 8) ?deadline_factor
+    (stages : (B.proc * (string * int) list) list) =
+  if stages = [] then invalid_arg "Hotspot.to_task_graph: no stages";
+  let tasks =
+    List.mapi
+      (fun i ((proc : B.proc), bindings) ->
+        let p = analyze proc bindings in
+        let est = Codesign_hls.Hls.estimate proc in
+        T.task ~id:i ~name:proc.B.name ~sw_cycles:p.total_cycles
+          ~hw_cycles:est.Codesign_hls.Hls.cycles
+          ~hw_area:est.Codesign_hls.Hls.area
+          ~sw_bytes:
+            (Codesign_isa.Encoding.program_bytes
+               (Asm.assemble (fst (Codegen.compile proc))).Asm.code)
+          ~ops:(consistent_mix est) ())
+      stages
+  in
+  let edges =
+    List.init
+      (List.length stages - 1)
+      (fun i -> { T.src = i; dst = i + 1; words })
+  in
+  let g = T.make ~name tasks edges in
+  match deadline_factor with
+  | Some f -> T.scale_deadline g f
+  | None -> g

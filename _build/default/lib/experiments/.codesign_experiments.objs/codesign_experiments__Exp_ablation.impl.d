@@ -1,0 +1,1 @@
+lib/experiments/exp_ablation.ml: Array Codesign Codesign_hls Codesign_ir Codesign_isa Codesign_workloads List Partition Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_criteria.ml: Codesign List Report Taxonomy

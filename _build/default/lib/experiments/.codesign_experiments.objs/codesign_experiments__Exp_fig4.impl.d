@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Codesign Codesign_bus Codesign_isa Codesign_sim List Printf Report

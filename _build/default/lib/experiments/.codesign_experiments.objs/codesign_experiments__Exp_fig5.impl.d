@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Array Codesign Codesign_ir Codesign_workloads Cosynth Float List Periodic Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig6.ml: Asip Codesign Codesign_workloads List Report String

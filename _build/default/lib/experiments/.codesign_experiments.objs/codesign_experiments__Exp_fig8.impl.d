@@ -1,0 +1,1 @@
+lib/experiments/exp_fig8.ml: Codesign Codesign_ir Codesign_workloads Cost List Partition Printf Report

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig9.ml: Codesign Codesign_ir Codesign_workloads Coproc List Printf Report

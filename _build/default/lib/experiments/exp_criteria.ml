@@ -1,0 +1,50 @@
+(** EXP-10 — paper §5: the summary comparison criteria.
+
+    Renders the paper's closing checklist — system type, design tasks,
+    co-simulation abstraction level, partitioning factors — for every
+    methodology implemented in this repository, reproducing the §4
+    discussion row-for-row from live code rather than prose. *)
+
+open Codesign
+
+let run ?quick:_ () =
+  let rows =
+    List.map
+      (fun (m : Taxonomy.methodology) ->
+        let c = Taxonomy.criteria m in
+        [
+          m.Taxonomy.m_name;
+          m.Taxonomy.section;
+          List.assoc "system type" c;
+          List.assoc "design tasks" c;
+          List.assoc "co-simulation level" c;
+          List.assoc "partitioning factors" c;
+        ])
+      Taxonomy.catalogue
+  in
+  Report.table
+    ~title:
+      "EXP-10 (SS5): the paper's comparison criteria, for every \
+       methodology implemented in this repository"
+    ~headers:
+      [ "methodology"; "paper"; "type"; "tasks"; "cosim level"; "factors" ]
+    ~align:[ Report.L; L; L; L; L; L ]
+    rows
+
+(* §4 prose facts the table must reproduce *)
+let shape_holds ?quick:_ () =
+  let find name =
+    List.find (fun m -> m.Taxonomy.m_name = name) Taxonomy.catalogue
+  in
+  let chinook = find "interface co-synthesis (Chinook)" in
+  let sos = find "exact multiprocessor synthesis (SOS)" in
+  let mp = find "multiple-process behavioural synthesis" in
+  (* "Chinook ... does no HW/SW partitioning" *)
+  (not (List.mem Taxonomy.Hw_sw_partitioning chinook.Taxonomy.activities))
+  (* multiprocessor synthesis: "co-synthesis but not partitioning" *)
+  && (not (List.mem Taxonomy.Hw_sw_partitioning sos.Taxonomy.activities))
+  (* [10] "considers all the factors outlined in Section 3.3 except
+     modifiability" *)
+  && (not (List.mem Taxonomy.Modifiability mp.Taxonomy.factors))
+  && List.mem Taxonomy.Concurrency mp.Taxonomy.factors
+  && List.mem Taxonomy.Communication mp.Taxonomy.factors

@@ -1,0 +1,91 @@
+(** EXP-1 — paper Fig. 1 / §2: Type I vs Type II classification.
+
+    Builds structural component descriptions of the six §4 system
+    classes, classifies each with the live {!Codesign.Taxonomy.classify}
+    rule, and checks the result against the classification the paper
+    assigns in its prose.  The printed table is the reproduction of the
+    Fig. 1 dichotomy. *)
+
+open Codesign
+
+let sw name ?host level =
+  {
+    Taxonomy.comp_name = name;
+    is_software = true;
+    level;
+    executes_on = host;
+  }
+
+let hw name level =
+  { Taxonomy.comp_name = name; is_software = false; level; executes_on = None }
+
+(* Structural description of each §4 system family plus the paper's own
+   classification of it. *)
+let systems =
+  [
+    ( "4.1 embedded microprocessor",
+      [
+        sw "application" ~host:"microprocessor" Taxonomy.Program;
+        hw "microprocessor" Taxonomy.Gate_netlist;
+        hw "glue logic" Taxonomy.Gate_netlist;
+      ],
+      Taxonomy.Type_I );
+    ( "4.2 heterogeneous multiprocessor",
+      [
+        sw "task set" ~host:"pe farm" Taxonomy.Program;
+        hw "pe farm" Taxonomy.Register_transfer;
+        hw "interconnect" Taxonomy.Register_transfer;
+      ],
+      Taxonomy.Type_I );
+    ( "4.3 application-specific ISP",
+      [
+        sw "application" ~host:"asip core" Taxonomy.Program;
+        hw "asip core" Taxonomy.Register_transfer;
+      ],
+      Taxonomy.Type_I );
+    ( "4.4 special-purpose FUs",
+      [
+        sw "application" ~host:"core+fus" Taxonomy.Program;
+        hw "core+fus" Taxonomy.Register_transfer;
+      ],
+      Taxonomy.Type_I );
+    ( "4.5 custom co-processor",
+      [
+        sw "host program" Taxonomy.Behavioral;
+        hw "co-processor" Taxonomy.Behavioral;
+      ],
+      Taxonomy.Type_II );
+    ( "4.6 multi-threaded co-processor",
+      [
+        sw "host program" Taxonomy.Behavioral;
+        hw "hw thread 0" Taxonomy.Behavioral;
+        hw "hw thread 1" Taxonomy.Behavioral;
+      ],
+      Taxonomy.Type_II );
+  ]
+
+let run ?quick:_ () =
+  let rows =
+    List.map
+      (fun (name, comps, expected) ->
+        let got = Taxonomy.classify comps in
+        [
+          name;
+          Taxonomy.boundary_name got;
+          Taxonomy.boundary_name expected;
+          (if got = expected then "ok" else "MISMATCH");
+        ])
+      systems
+  in
+  Report.table
+    ~title:
+      "EXP-1 (Fig. 1 / SS2): boundary classification of the six example \
+       system classes"
+    ~headers:[ "system class"; "classified"; "paper says"; "agreement" ]
+    ~align:[ Report.L; L; L; L ]
+    rows
+
+let all_agree () =
+  List.for_all
+    (fun (_, comps, expected) -> Taxonomy.classify comps = expected)
+    systems

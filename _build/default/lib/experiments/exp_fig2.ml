@@ -1,0 +1,42 @@
+(** EXP-2 — paper Fig. 2 / §3: the design-activity containment diagram.
+
+    Prints the activity coverage matrix of every methodology implemented
+    in this repository and verifies the figure's containment relation on
+    it: HW/SW partitioning only ever occurs inside co-synthesis, and
+    both live inside co-design. *)
+
+open Codesign
+
+let covers m a = List.mem a m.Taxonomy.activities
+
+let run ?quick:_ () =
+  let mark b = if b then "x" else "" in
+  let rows =
+    List.map
+      (fun m ->
+        [
+          m.Taxonomy.m_name;
+          mark (covers m Taxonomy.Co_simulation);
+          mark (covers m Taxonomy.Co_synthesis);
+          mark (covers m Taxonomy.Hw_sw_partitioning);
+        ])
+      Taxonomy.catalogue
+  in
+  Report.table
+    ~title:
+      "EXP-2 (Fig. 2 / SS3): design activities integrated by each \
+       implemented methodology"
+    ~headers:[ "methodology"; "co-sim"; "co-synth"; "partitioning" ]
+    ~align:[ Report.L; L; L; L ]
+    rows
+
+(* Fig. 2's containment: partitioning c cosynthesis c codesign. *)
+let containment_holds () =
+  List.for_all
+    (fun m ->
+      (not (covers m Taxonomy.Hw_sw_partitioning))
+      || covers m Taxonomy.Co_synthesis)
+    Taxonomy.catalogue
+  && List.for_all
+       (fun m -> m.Taxonomy.activities <> [])
+       Taxonomy.catalogue

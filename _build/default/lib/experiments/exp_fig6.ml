@@ -1,0 +1,77 @@
+(** EXP-6 — paper Fig. 6 / §4.3: application-specific instruction-set
+    processor synthesis (PEAS-I style [14]).
+
+    For every DSP kernel, the full ASIP flow runs: mine extension
+    patterns, select under an area budget, rewrite, and execute both
+    program versions on the ISS.  Speedups are measured, not estimated,
+    and each row is verified (identical outputs).
+
+    A second table sweeps the area budget on the FIR kernel: the
+    speedup-vs-area curve shows the diminishing returns the paper's
+    modifiability/cost discussion anticipates. *)
+
+open Codesign
+module Kernels = Codesign_workloads.Kernels
+
+let run ?(quick = false) () =
+  let kernels =
+    if quick then
+      List.filter (fun (n, _, _) -> n = "fir" || n = "crc32") Kernels.all
+    else Kernels.all
+  in
+  let rows =
+    List.map
+      (fun (name, proc, binds) ->
+        let r = Asip.design proc binds in
+        [
+          name;
+          String.concat "+" (List.map (fun p -> p.Asip.pname) r.Asip.selected);
+          Report.fi r.Asip.fu_area;
+          Report.fi r.Asip.base_cycles;
+          Report.fi r.Asip.asip_cycles;
+          Report.ff r.Asip.speedup ^ "x";
+          (if r.Asip.verified then "ok" else "MISMATCH");
+        ])
+      kernels
+  in
+  let t1 =
+    Report.table
+      ~title:
+        "EXP-6 (Fig. 6 / SS4.3): ASIP instruction-set extension per kernel \
+         (budget 800, ISS-measured)"
+      ~headers:
+        [ "kernel"; "instructions added"; "fu area"; "base cycles";
+          "asip cycles"; "speedup"; "verified" ]
+      ~align:[ Report.L; L; R; R; R; R; L ]
+      rows
+  in
+  let budgets = if quick then [ 0; 400; 800 ] else [ 0; 100; 200; 400; 800; 1600 ] in
+  let _, fir, fir_b = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let rows2 =
+    List.map
+      (fun budget ->
+        let r = Asip.design ~budget fir fir_b in
+        [
+          Report.fi budget;
+          String.concat "+" (List.map (fun p -> p.Asip.pname) r.Asip.selected);
+          Report.fi r.Asip.fu_area;
+          Report.ff r.Asip.speedup ^ "x";
+        ])
+      budgets
+  in
+  let t2 =
+    Report.table
+      ~title:"EXP-6b: speedup vs extension-area budget (fir kernel)"
+      ~headers:[ "budget"; "selected"; "area used"; "speedup" ]
+      ~align:[ Report.R; L; R; R ]
+      rows2
+  in
+  t1 ^ "\n" ^ t2
+
+let shape_holds ?quick:_ () =
+  let _, fir, fir_b = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let zero = Asip.design ~budget:0 fir fir_b in
+  let full = Asip.design ~budget:1600 fir fir_b in
+  zero.Asip.speedup <= 1.0 +. 1e-9
+  && full.Asip.speedup > zero.Asip.speedup
+  && full.Asip.verified

@@ -1,0 +1,85 @@
+(** EXP-7 — paper Fig. 7 / §4.4: special-purpose functional units with
+    field-programmable implementation (instruction-set metamorphosis,
+    Athanas-Silverman [15]).
+
+    A workload alternating between a MAC-heavy kernel (fir) and a
+    bitwise kernel (crc32) runs on a processor whose extension FUs live
+    in a small reconfigurable fabric.  A static configuration must pick
+    one compromise FU set; a dynamic one reconfigures between
+    applications and pays the reconfiguration latency.
+
+    Expected shape: for a single-application workload static wins (no
+    reconfiguration, perfect fit); for the alternating mix dynamic wins
+    when the fabric is too small to host both pattern sets — until the
+    reconfiguration cost grows past the per-application gain. *)
+
+open Codesign
+module Kernels = Codesign_workloads.Kernels
+
+let app name =
+  let _, p, b = List.find (fun (n, _, _) -> n = name) Kernels.all in
+  (p, b)
+
+let mixes ~reps =
+  let fir = app "fir" and crc = app "crc32" in
+  [
+    ("fir only", List.init reps (fun _ -> fir));
+    ("crc only", List.init reps (fun _ -> crc));
+    ( "alternating fir/crc",
+      List.concat (List.init reps (fun _ -> [ fir; crc ])) );
+  ]
+
+let run ?(quick = false) () =
+  let reps = if quick then 2 else 4 in
+  let costs = if quick then [ 0; 5000 ] else [ 0; 1000; 5000; 50000 ] in
+  let rows =
+    List.concat_map
+      (fun (mix_name, apps) ->
+        List.map
+          (fun reconfig_cost ->
+            let o =
+              Asip.Reconfig.compare ~capacity:400 ~reconfig_cost apps
+            in
+            [
+              mix_name;
+              Report.fi reconfig_cost;
+              Report.fi o.Asip.Reconfig.static_cycles;
+              Report.fi o.Asip.Reconfig.dynamic_cycles;
+              Report.fi o.Asip.Reconfig.reconfigurations;
+              String.concat "+" o.Asip.Reconfig.static_set;
+              o.Asip.Reconfig.winner;
+            ])
+          costs)
+      (mixes ~reps)
+  in
+  Report.table
+    ~title:
+      "EXP-7 (Fig. 7 / SS4.4): static vs dynamically reconfigured \
+       special-purpose FUs (fabric capacity 400)"
+    ~headers:
+      [ "workload"; "reconfig cost"; "static cyc"; "dynamic cyc";
+        "reconfigs"; "static set"; "winner" ]
+    ~align:[ Report.L; R; R; R; R; L; L ]
+    rows
+
+let shape_holds ?quick:_ () =
+  let fir = app "fir" and crc = app "crc32" in
+  let single =
+    Asip.Reconfig.compare ~capacity:400 ~reconfig_cost:1000
+      [ fir; fir; fir ]
+  in
+  let mixed_cheap =
+    Asip.Reconfig.compare ~capacity:400 ~reconfig_cost:0
+      [ fir; crc; fir; crc ]
+  in
+  let mixed_dear =
+    Asip.Reconfig.compare ~capacity:400 ~reconfig_cost:10_000_000
+      [ fir; crc; fir; crc ]
+  in
+  (* single-app: nothing to reconfigure between *)
+  single.Asip.Reconfig.winner = "static"
+  (* free reconfig can only help *)
+  && mixed_cheap.Asip.Reconfig.dynamic_cycles
+     <= mixed_cheap.Asip.Reconfig.static_cycles
+  (* absurd reconfig cost hands it back to static *)
+  && mixed_dear.Asip.Reconfig.winner = "static"

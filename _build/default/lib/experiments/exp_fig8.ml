@@ -1,0 +1,190 @@
+(** EXP-8 — paper Fig. 8 / §4.5: custom co-processor HW/SW partitioning.
+
+    Three tables over synthetic task graphs:
+
+    + algorithm comparison (greedy [6]-style, KL, simulated annealing
+      [17]-style, GCLP [1][5]) against the exhaustive optimum on a small
+      graph, and against each other on a larger one;
+    + the speedup-vs-area-budget curve: speedup saturates once the
+      performance-critical tasks are in hardware (the diminishing
+      returns the paper's partitioning discussion turns on);
+    + ablations of two §3.3 factors: sharing-aware incremental area
+      estimation [18] (admits more tasks at the same budget) and
+      communication weighting (ignoring it overstates achievable
+      speedup). *)
+
+open Codesign
+module T = Codesign_ir.Task_graph
+module Tgff = Codesign_workloads.Tgff
+
+let graph ?(n_tasks = 14) seed =
+  Tgff.generate
+    {
+      Tgff.default_spec with
+      Tgff.seed;
+      n_tasks;
+      layers = 4;
+      deadline_factor = 0.75;
+    }
+
+let algo_rows g =
+  List.map
+    (fun (r : Partition.result) ->
+      [
+        r.Partition.algorithm;
+        Report.ff r.Partition.eval.Cost.speedup ^ "x";
+        Report.fi r.Partition.eval.Cost.hw_area;
+        Report.fi r.Partition.eval.Cost.n_hw;
+        (if r.Partition.eval.Cost.meets_deadline then "yes" else "no");
+        Report.fi r.Partition.evaluations;
+      ])
+    [
+      Partition.greedy g;
+      Partition.kl g;
+      Partition.simulated_annealing g;
+      Partition.gclp g;
+    ]
+
+let run ?(quick = false) () =
+  let g = graph (if quick then 2 else 42) ~n_tasks:(if quick then 10 else 14) in
+  let t1 =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "EXP-8 (Fig. 8 / SS4.5): partitioning algorithms (%d tasks, \
+            deadline %s, all-SW latency %s)"
+           (T.n_tasks g) (Report.fi g.T.deadline)
+           (Report.fi (Cost.evaluate g (Cost.all_sw g)).Cost.all_sw_latency))
+      ~headers:
+        [ "algorithm"; "speedup"; "hw area"; "tasks in hw"; "deadline";
+          "cost evals" ]
+      ~align:[ Report.L; R; R; R; L; R ]
+      (algo_rows g)
+  in
+  (* budget sweep *)
+  let budgets =
+    if quick then [ 1000; 4000; 16000 ]
+    else [ 500; 1000; 2000; 4000; 8000; 16000; 32000 ]
+  in
+  let rows2 =
+    List.map
+      (fun budget ->
+        let r = Partition.kl ~max_area:budget g in
+        [
+          Report.fi budget;
+          Report.fi r.Partition.eval.Cost.hw_area;
+          Report.fi r.Partition.eval.Cost.n_hw;
+          Report.ff r.Partition.eval.Cost.speedup ^ "x";
+          (if r.Partition.eval.Cost.meets_deadline then "yes" else "no");
+        ])
+      budgets
+  in
+  let t2 =
+    Report.table
+      ~title:"EXP-8b: speedup vs hardware area budget (kl partitioner)"
+      ~headers:[ "area budget"; "area used"; "tasks in hw"; "speedup"; "deadline" ]
+      ~align:[ Report.R; R; R; R; L ]
+      rows2
+  in
+  (* ablation: sharing-aware estimation *)
+  let budget = if quick then 2500 else 3000 in
+  let with_sharing = Partition.greedy ~max_area:budget g in
+  let without_sharing =
+    Partition.greedy
+      ~params:{ Cost.default_params with Cost.sharing = false }
+      ~max_area:budget g
+  in
+  (* ablation: communication blindness — decide with communication free,
+     then evaluate with the real cost.  Run on a communication-heavy
+     variant of the workload (large inter-task data volumes), where the
+     §3.3 "communication" factor actually decides placements. *)
+  let gc =
+    Tgff.generate
+      {
+        Tgff.default_spec with
+        Tgff.seed = (if quick then 2 else 42);
+        n_tasks = (if quick then 10 else 14);
+        layers = 4;
+        deadline_factor = 0.75;
+        words_range = (96, 256);
+      }
+  in
+  let heavy = { Cost.default_params with Cost.comm_cycles_per_word = 12 } in
+  let blind =
+    Partition.kl ~params:{ heavy with Cost.comm_cycles_per_word = 0 } gc
+  in
+  let blind_real_eval =
+    Cost.evaluate ~params:heavy gc blind.Partition.partition
+  in
+  let aware = Partition.kl ~params:heavy gc in
+  let rows3 =
+    [
+      [
+        "sharing-aware area [18]";
+        Report.fi with_sharing.Partition.eval.Cost.n_hw;
+        Report.ff with_sharing.Partition.eval.Cost.speedup ^ "x";
+        Report.fi with_sharing.Partition.eval.Cost.hw_area;
+      ];
+      [
+        "standalone area (no sharing)";
+        Report.fi without_sharing.Partition.eval.Cost.n_hw;
+        Report.ff without_sharing.Partition.eval.Cost.speedup ^ "x";
+        Report.fi without_sharing.Partition.eval.Cost.hw_area;
+      ];
+      [
+        "comm-aware partition (real eval)";
+        Report.fi aware.Partition.eval.Cost.n_hw;
+        Report.ff aware.Partition.eval.Cost.speedup ^ "x";
+        Report.fi aware.Partition.eval.Cost.hw_area;
+      ];
+      [
+        "comm-blind partition (real eval)";
+        Report.fi blind_real_eval.Cost.n_hw;
+        Report.ff blind_real_eval.Cost.speedup ^ "x";
+        Report.fi blind_real_eval.Cost.hw_area;
+      ];
+    ]
+  in
+  let t3 =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "EXP-8c: SS3.3 factor ablations (budget %d for sharing rows)"
+           budget)
+      ~headers:[ "configuration"; "tasks in hw"; "speedup"; "hw area" ]
+      ~align:[ Report.L; R; R; R ]
+      rows3
+  in
+  t1 ^ "\n" ^ t2 ^ "\n" ^ t3
+
+let shape_holds ?(quick = true) () =
+  let g = graph 2 ~n_tasks:(if quick then 10 else 14) in
+  (* speedup saturates: biggest budget >= smallest budget *)
+  let small = Partition.kl ~max_area:1000 g in
+  let large = Partition.kl ~max_area:32000 g in
+  let sharing = Partition.greedy ~max_area:2500 g in
+  let no_sharing =
+    Partition.greedy
+      ~params:{ Cost.default_params with Cost.sharing = false }
+      ~max_area:2500 g
+  in
+  let gc =
+    Tgff.generate
+      {
+        Tgff.default_spec with
+        Tgff.seed = 42;
+        n_tasks = (if quick then 10 else 14);
+        layers = 4;
+        deadline_factor = 0.75;
+        words_range = (96, 256);
+      }
+  in
+  let heavy = { Cost.default_params with Cost.comm_cycles_per_word = 12 } in
+  let blind =
+    Partition.kl ~params:{ heavy with Cost.comm_cycles_per_word = 0 } gc
+  in
+  let blind_real = Cost.evaluate ~params:heavy gc blind.Partition.partition in
+  let aware = Partition.kl ~params:heavy gc in
+  large.Partition.eval.Cost.speedup >= small.Partition.eval.Cost.speedup -. 1e-9
+  && sharing.Partition.eval.Cost.n_hw >= no_sharing.Partition.eval.Cost.n_hw
+  && aware.Partition.eval.Cost.latency <= blind_real.Cost.latency

@@ -1,0 +1,91 @@
+(** EXP-9 — paper Fig. 9 / §4.6: the multi-threaded custom co-processor
+    (the authors' own multiple-process behavioural synthesis [10]).
+
+    A fork/join network with hardware workers is synthesised into
+    co-processors with 1..N controller/datapath threads and executed on
+    the co-simulation kernel.  Expected shape: latency falls as threads
+    are added, then saturates at the worker count; communication-aware
+    process placement dominates placement that ignores communication
+    (the [10] objective). *)
+
+open Codesign
+module Apps = Codesign_workloads.Apps
+module Pn = Codesign_ir.Process_network
+
+let run ?(quick = false) () =
+  let workers = if quick then 3 else 4 in
+  let items = if quick then 6 else 12 in
+  let work = if quick then 12 else 24 in
+  let net = Apps.fork_join ~workers ~items ~work () in
+  let max_threads = workers + 1 in
+  let ds = Coproc.sweep_threads ~max_threads net in
+  let base = (List.hd ds).Coproc.latency in
+  let rows =
+    List.map
+      (fun (d : Coproc.design) ->
+        [
+          string_of_int d.Coproc.threads;
+          Report.fi d.Coproc.latency;
+          Report.ff (float_of_int base /. float_of_int d.Coproc.latency)
+          ^ "x";
+          Report.fi d.Coproc.hw_area;
+          Report.fi d.Coproc.crossing_channels;
+          Report.fi d.Coproc.checksum;
+        ])
+      ds
+  in
+  let t1 =
+    Report.table
+      ~title:
+        (Printf.sprintf
+           "EXP-9 (Fig. 9 / SS4.6): multi-threaded co-processor — %d hw \
+            workers, %d items, measured by co-simulation"
+           workers items)
+      ~headers:
+        [ "hw threads"; "latency"; "speedup vs 1"; "hw area";
+          "crossing chans"; "checksum" ]
+      ~align:[ Report.R; R; R; R; R; R ]
+      rows
+  in
+  (* communication-aware vs blind placement on a chatty hw pipeline *)
+  let pipe = Apps.pipeline ~stages:3 ~count:items ~work:6 () in
+  let pipe =
+    Pn.remap pipe
+      [ ("stage0", Pn.Hw); ("stage1", Pn.Hw); ("stage2", Pn.Hw) ]
+  in
+  let aware =
+    Coproc.synthesize ~threads:2 ~comm_aware:true ~cross_cost:300 pipe
+  in
+  let blind =
+    Coproc.synthesize ~threads:2 ~comm_aware:false ~cross_cost:300 pipe
+  in
+  let rows2 =
+    List.map
+      (fun (name, (d : Coproc.design)) ->
+        [
+          name;
+          Report.fi d.Coproc.latency;
+          Report.fi d.Coproc.crossing_channels;
+          Report.fi d.Coproc.checksum;
+        ])
+      [ ("communication-aware [10]", aware); ("communication-blind", blind) ]
+  in
+  let t2 =
+    Report.table
+      ~title:
+        "EXP-9b: placement objective ablation (3-stage hw pipeline on 2 \
+         threads, 300 cycles per crossing message)"
+      ~headers:[ "placement"; "latency"; "crossing chans"; "checksum" ]
+      ~align:[ Report.L; R; R; R ]
+      rows2
+  in
+  t1 ^ "\n" ^ t2
+
+let shape_holds ?(quick = true) () =
+  let workers = if quick then 2 else 4 in
+  let net = Apps.fork_join ~workers ~items:6 ~work:16 () in
+  let ds = Coproc.sweep_threads ~max_threads:workers net in
+  let first = List.hd ds and last = List.nth ds (workers - 1) in
+  let sums = List.map (fun d -> d.Coproc.checksum) ds in
+  last.Coproc.latency < first.Coproc.latency
+  && List.for_all (fun s -> s = List.hd sums) sums

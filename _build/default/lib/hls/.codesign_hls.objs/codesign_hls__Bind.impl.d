@@ -1,0 +1,1 @@
+lib/hls/bind.ml: Array Codesign_ir Fun Hashtbl List Printf Sched

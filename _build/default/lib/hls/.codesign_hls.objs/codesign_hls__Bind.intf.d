@@ -1,0 +1,1 @@
+lib/hls/bind.mli: Codesign_ir Sched

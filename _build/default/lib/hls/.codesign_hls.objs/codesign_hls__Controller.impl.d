@@ -1,0 +1,1 @@
+lib/hls/controller.ml: Array Codesign_ir Codesign_rtl Hashtbl List Printf Sched String

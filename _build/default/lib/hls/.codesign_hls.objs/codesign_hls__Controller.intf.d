@@ -1,0 +1,1 @@
+lib/hls/controller.mli: Codesign_ir Codesign_rtl Sched

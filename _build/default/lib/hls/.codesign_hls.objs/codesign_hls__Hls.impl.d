@@ -1,0 +1,1 @@
+lib/hls/hls.ml: Bind Codesign_ir Controller Hashtbl List Sched

@@ -1,0 +1,1 @@
+lib/hls/hls.mli: Codesign_ir Codesign_rtl

@@ -1,0 +1,1 @@
+lib/hls/sched.ml: Array Codesign_ir Codesign_rtl Fun Hashtbl List Printf String

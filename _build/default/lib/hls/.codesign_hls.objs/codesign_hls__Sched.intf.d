@@ -1,0 +1,1 @@
+lib/hls/sched.mli: Codesign_ir

@@ -1,0 +1,212 @@
+module C = Codesign_ir.Cdfg
+
+type fu = { cls : string; index : int }
+
+type t = {
+  fu_of_op : fu option array;
+  fu_alloc : (string * int) list;
+  reg_of_value : int array;
+  n_registers : int;
+  lifetimes : (int * int) array;
+  mux_inputs : int;
+}
+
+let bind (b : C.block) (sched : Sched.t) =
+  Sched.verify b sched;
+  let ops = Array.of_list b.C.ops in
+  let n = Array.length ops in
+  let delay i = Sched.op_delay ops.(i).C.opcode in
+  let span i = max 1 (delay i) in
+  (* ---- FU binding: greedy first-fit in cstep order ---- *)
+  let fu_of_op = Array.make n None in
+  (* per class: list of (instance, busy_until) where busy_until is the
+     first free cstep *)
+  let free_at : (string, int array ref) Hashtbl.t = Hashtbl.create 8 in
+  let order =
+    List.sort
+      (fun i j ->
+        if sched.Sched.start.(i) <> sched.Sched.start.(j) then
+          compare sched.Sched.start.(i) sched.Sched.start.(j)
+        else compare i j)
+      (List.init n Fun.id)
+  in
+  List.iter
+    (fun i ->
+      match Sched.fu_class ops.(i).C.opcode with
+      | None -> ()
+      | Some cls ->
+          let insts =
+            match Hashtbl.find_opt free_at cls with
+            | Some r -> r
+            | None ->
+                let r = ref [||] in
+                Hashtbl.replace free_at cls r;
+                r
+          in
+          let s = sched.Sched.start.(i) in
+          let rec find k =
+            if k >= Array.length !insts then begin
+              (* allocate a new instance *)
+              insts := Array.append !insts [| 0 |];
+              k
+            end
+            else if !insts.(k) <= s then k
+            else find (k + 1)
+          in
+          let k = find 0 in
+          !insts.(k) <- s + span i;
+          fu_of_op.(i) <- Some { cls; index = k })
+    order;
+  let fu_alloc =
+    Hashtbl.fold
+      (fun cls insts acc -> (cls, Array.length !insts) :: acc)
+      free_at []
+    |> List.sort compare
+  in
+  (* ---- value lifetimes and left-edge register allocation ---- *)
+  let last_use = Array.make n (-1) in
+  Array.iteri
+    (fun i (o : C.op) ->
+      List.iter
+        (fun a ->
+          (* the consumer reads its sources at its start cstep; a
+             multi-cycle consumer holds them until completion *)
+          let use = sched.Sched.start.(i) + span i in
+          if use > last_use.(a) then last_use.(a) <- use)
+        o.C.args)
+    ops;
+  let lifetimes =
+    Array.init n (fun i ->
+        let def = sched.Sched.start.(i) + delay i in
+        (def, last_use.(i)))
+  in
+  let reg_of_value = Array.make n (-1) in
+  (* sort live values by definition time (left edge) *)
+  let live =
+    List.filter (fun i -> snd lifetimes.(i) > fst lifetimes.(i))
+      (List.init n Fun.id)
+    |> List.sort (fun i j ->
+           if fst lifetimes.(i) <> fst lifetimes.(j) then
+             compare (fst lifetimes.(i)) (fst lifetimes.(j))
+           else compare i j)
+  in
+  let reg_free = ref [||] in
+  List.iter
+    (fun i ->
+      let def, fin = lifetimes.(i) in
+      let rec find k =
+        if k >= Array.length !reg_free then begin
+          reg_free := Array.append !reg_free [| 0 |];
+          k
+        end
+        else if !reg_free.(k) <= def then k
+        else find (k + 1)
+      in
+      let k = find 0 in
+      !reg_free.(k) <- fin;
+      reg_of_value.(i) <- k)
+    live;
+  let n_registers = Array.length !reg_free in
+  (* ---- mux estimation ---- *)
+  (* distinct source values per FU operand slot *)
+  let fu_sources : (string * int * int, int list ref) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  Array.iteri
+    (fun i (o : C.op) ->
+      match fu_of_op.(i) with
+      | None -> ()
+      | Some { cls; index } ->
+          List.iteri
+            (fun slot a ->
+              let key = (cls, index, slot) in
+              let r =
+                match Hashtbl.find_opt fu_sources key with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.replace fu_sources key r;
+                    r
+              in
+              if not (List.mem a !r) then r := a :: !r)
+            o.C.args)
+    ops;
+  (* distinct writers per register *)
+  let reg_sources : (int, int list ref) Hashtbl.t = Hashtbl.create 32 in
+  Array.iteri
+    (fun i _ ->
+      let r = reg_of_value.(i) in
+      if r >= 0 then begin
+        let l =
+          match Hashtbl.find_opt reg_sources r with
+          | Some l -> l
+          | None ->
+              let l = ref [] in
+              Hashtbl.replace reg_sources r l;
+              l
+        in
+        if not (List.mem i !l) then l := i :: !l
+      end)
+    ops;
+  let mux_inputs =
+    Hashtbl.fold
+      (fun _ r acc -> acc + max 0 (List.length !r - 1))
+      fu_sources 0
+    + Hashtbl.fold
+        (fun _ l acc -> acc + max 0 (List.length !l - 1))
+        reg_sources 0
+  in
+  {
+    fu_of_op;
+    fu_alloc;
+    reg_of_value;
+    n_registers;
+    lifetimes;
+    mux_inputs;
+  }
+
+let fu_area t =
+  List.fold_left
+    (fun acc (cls, k) -> acc + (k * Sched.fu_class_area cls))
+    0 t.fu_alloc
+
+let reg_area t = 32 * t.n_registers
+let mux_area t = 3 * 32 * t.mux_inputs / 16
+(* a 2:1 32-bit mux is 3*32/16 = 6 NAND-eq per extra input in our scaled
+   units; keep integer arithmetic *)
+
+let datapath_area t = fu_area t + reg_area t + mux_area t
+
+let verify (b : C.block) (sched : Sched.t) t =
+  let ops = Array.of_list b.C.ops in
+  let n = Array.length ops in
+  let span i = max 1 (Sched.op_delay ops.(i).C.opcode) in
+  (* FU exclusivity *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      match (t.fu_of_op.(i), t.fu_of_op.(j)) with
+      | Some a, Some b' when a = b' ->
+          let si = sched.Sched.start.(i) and sj = sched.Sched.start.(j) in
+          let overlap = si < sj + span j && sj < si + span i in
+          if overlap then
+            invalid_arg
+              (Printf.sprintf "Bind.verify: ops %d and %d overlap on %s#%d" i
+                 j a.cls a.index)
+      | _ -> ()
+    done
+  done;
+  (* register disjointness *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if
+        t.reg_of_value.(i) >= 0
+        && t.reg_of_value.(i) = t.reg_of_value.(j)
+      then begin
+        let di, fi = t.lifetimes.(i) and dj, fj = t.lifetimes.(j) in
+        if di < fj && dj < fi then
+          invalid_arg
+            (Printf.sprintf "Bind.verify: values %d and %d share register %d"
+               i j t.reg_of_value.(i))
+      end
+    done
+  done

@@ -1,0 +1,39 @@
+(** Resource allocation and binding.
+
+    Consumes a scheduled block and produces:
+    - a functional-unit binding (each FU-occupying op -> (class, instance))
+      such that no two ops overlap on an instance;
+    - a register allocation for op result values by the left-edge
+      algorithm over value lifetimes (def completion to last use), giving
+      the minimum register count for the schedule;
+    - multiplexer cost estimates from the number of distinct sources
+      feeding each FU input and each register.
+
+    The register allocation is used for {i area} only; the generated
+    controller keeps one architectural register per value for functional
+    transparency (see {!Controller}). *)
+
+type fu = { cls : string; index : int }
+
+type t = {
+  fu_of_op : fu option array;  (** per op id; [None] for wire-like ops *)
+  fu_alloc : (string * int) list;  (** instances allocated per class *)
+  reg_of_value : int array;  (** register index per op id (-1 if dead) *)
+  n_registers : int;
+  lifetimes : (int * int) array;  (** [def, last_use) per op id *)
+  mux_inputs : int;  (** total mux fan-in beyond 1 across FUs and regs *)
+}
+
+val bind : Codesign_ir.Cdfg.block -> Sched.t -> t
+(** @raise Invalid_argument if the schedule fails {!Sched.verify}. *)
+
+val fu_area : t -> int
+val reg_area : t -> int
+val mux_area : t -> int
+
+val datapath_area : t -> int
+(** [fu_area + reg_area + mux_area]. *)
+
+val verify : Codesign_ir.Cdfg.block -> Sched.t -> t -> unit
+(** Independently re-checks FU exclusivity and register lifetime
+    disjointness.  @raise Invalid_argument on violation. *)

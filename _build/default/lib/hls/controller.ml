@@ -1,0 +1,167 @@
+module C = Codesign_ir.Cdfg
+module F = Codesign_rtl.Fsmd
+
+let is_io name = String.contains name ':'
+
+let chan_of name =
+  (* "chan:c" -> Some "c" *)
+  if String.length name > 5 && String.sub name 0 5 = "chan:" then
+    Some (String.sub name 5 (String.length name - 5))
+  else None
+
+let of_block ?name (b : C.block) (sched : Sched.t) =
+  Sched.verify b sched;
+  let fsmd_name =
+    match name with Some n -> n | None -> "hls_" ^ b.C.label
+  in
+  let ops = Array.of_list b.C.ops in
+  Array.iter
+    (fun (o : C.op) ->
+      match o.C.opcode with
+      | C.Load _ | C.Store _ ->
+          invalid_arg
+            "Controller.of_block: memory operations are not synthesisable \
+             to an FSMD (model them at the behavioural level)"
+      | _ -> ())
+    ops;
+  let vreg i = Printf.sprintf "%%v%d" i in
+  (* Source expression for operand [a]: constants and plain-variable
+     reads inline (architectural registers only change in the commit
+     epilogue, so they are stable throughout the body); everything else
+     reads the value register committed by the producer.  I/O reads are
+     1-cycle ops, so their value registers always commit strictly before
+     any consumer starts. *)
+  let src a =
+    match ops.(a).C.opcode with
+    | C.Const k -> F.Const k
+    | C.Read nm when not (is_io nm) -> F.Reg nm
+    | _ -> F.Reg (vreg a)
+  in
+  (* last write per architectural variable *)
+  let last_write : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Array.iteri
+    (fun i (o : C.op) ->
+      match o.C.opcode with
+      | C.Write v when not (is_io v) -> Hashtbl.replace last_write v i
+      | _ -> ())
+    ops;
+  (* collect actions per body state *)
+  let actions : (int, F.action list ref) Hashtbl.t = Hashtbl.create 16 in
+  let max_state = ref 0 in
+  let add_action state a =
+    let r =
+      match Hashtbl.find_opt actions state with
+      | Some r -> r
+      | None ->
+          let r = ref [] in
+          Hashtbl.replace actions state r;
+          r
+    in
+    r := a :: !r;
+    if state > !max_state then max_state := state
+  in
+  let epilogue = ref [] in
+  Array.iteri
+    (fun i (o : C.op) ->
+      let start = sched.Sched.start.(i) in
+      let d = Sched.op_delay o.C.opcode in
+      let commit = start + max 0 (d - 1) in
+      match o.C.opcode with
+      | C.Const _ -> () (* inlined *)
+      | C.Read nm -> (
+          match chan_of nm with
+          | Some ch -> add_action start (F.ARecv (vreg i, ch))
+          | None ->
+              if is_io nm then add_action start (F.Set (vreg i, F.Inp nm))
+              (* plain variable reads are inlined at the consumer *))
+      | C.Write nm -> (
+          let value = src (List.hd o.C.args) in
+          match chan_of nm with
+          | Some ch -> add_action start (F.ASend (ch, value))
+          | None ->
+              if is_io nm then add_action start (F.AOut (nm, value))
+              else if Hashtbl.find_opt last_write nm = Some i then
+                (* architectural commit happens in the epilogue so no
+                   in-flight reader can observe it early *)
+                epilogue := F.Set (nm, value) :: !epilogue
+              else () (* dead intermediate write *))
+      | C.Neg | C.Not ->
+          add_action commit
+            (F.Set (vreg i, F.Un (o.C.opcode, src (List.nth o.C.args 0))))
+      | _ ->
+          add_action commit
+            (F.Set
+               ( vreg i,
+                 F.Bin
+                   ( o.C.opcode,
+                     src (List.nth o.C.args 0),
+                     src (List.nth o.C.args 1) ) )))
+    ops;
+  let n_body = max sched.Sched.length (!max_state + 1) in
+  let n_body = max n_body 1 in
+  let state_name k = Printf.sprintf "S%d" k in
+  let body_states =
+    List.init n_body (fun k ->
+        {
+          F.sname = state_name k;
+          actions =
+            (match Hashtbl.find_opt actions k with
+            | Some r -> List.rev !r
+            | None -> []);
+          trans =
+            [
+              {
+                F.guard = None;
+                target =
+                  (if k = n_body - 1 then "commit" else state_name (k + 1));
+              };
+            ];
+        })
+  in
+  let commit_state =
+    { F.sname = "commit"; actions = List.rev !epilogue; trans = [] }
+  in
+  F.make ~name:fsmd_name ~start:(state_name 0) (body_states @ [ commit_state ])
+
+let eval_block_reference (b : C.block) ~env =
+  let values = Hashtbl.create 16 in
+  let written : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let get a = Hashtbl.find values a in
+  List.iter
+    (fun (o : C.op) ->
+      let v =
+        match o.C.opcode with
+        | C.Const k -> k
+        | C.Read nm -> (
+            match Hashtbl.find_opt written nm with
+            | Some v -> v
+            | None -> env nm)
+        | C.Write nm ->
+            let v = get (List.hd o.C.args) in
+            Hashtbl.replace written nm v;
+            v
+        | C.Load _ | C.Store _ ->
+            invalid_arg "Controller.eval_block_reference: memory op"
+        | C.Neg -> -get (List.hd o.C.args)
+        | C.Not -> if get (List.hd o.C.args) = 0 then 1 else 0
+        | op -> (
+            let a = get (List.nth o.C.args 0)
+            and b' = get (List.nth o.C.args 1) in
+            match op with
+            | C.Add -> a + b'
+            | C.Sub -> a - b'
+            | C.Mul -> a * b'
+            | C.Div -> if b' = 0 then 0 else a / b'
+            | C.Rem -> if b' = 0 then 0 else a mod b'
+            | C.And -> a land b'
+            | C.Or -> a lor b'
+            | C.Xor -> a lxor b'
+            | C.Shl -> a lsl (b' land 31)
+            | C.Shr -> a asr (b' land 31)
+            | C.Lt -> if a < b' then 1 else 0
+            | C.Eq -> if a = b' then 1 else 0
+            | _ -> assert false)
+      in
+      Hashtbl.replace values o.C.id v)
+    b.C.ops;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) written [] |> List.sort compare

@@ -1,0 +1,28 @@
+(** Controller generation: a scheduled data-flow block becomes an
+    executable {!Codesign_rtl.Fsmd}.
+
+    One FSMD state per control step, chained [S0 -> S1 -> ...]; the last
+    state has no transition (the machine halts there).  Each op commits
+    its result register [v<id>] in the state where it completes
+    (multi-cycle ops commit [delay - 1] states after they start);
+    wire-like ops ([Const]/[Read]) are inlined into consumer expressions,
+    and [Write x] transfers the value to the architectural register [x].
+
+    For functional transparency the generated datapath keeps one register
+    per value (register {i sharing} is an area concern handled by
+    {!Bind}); this keeps generated machines verifiable against the
+    reference DFG evaluation, which the test suite exploits.
+
+    Blocks containing [Load]/[Store] are rejected (memory is modelled at
+    the behavioural level, not inside generated FSMDs). *)
+
+val of_block :
+  ?name:string -> Codesign_ir.Cdfg.block -> Sched.t -> Codesign_rtl.Fsmd.t
+(** @raise Invalid_argument on memory ops or an infeasible schedule. *)
+
+val eval_block_reference :
+  Codesign_ir.Cdfg.block -> env:(string -> int) -> (string * int) list
+(** Reference semantics of a DFG block: evaluates ops in order, reading
+    external names ([Read]) through [env], and returns the final value of
+    every name written by a [Write], sorted.  Used to verify generated
+    FSMDs. *)

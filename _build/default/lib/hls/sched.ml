@@ -1,0 +1,374 @@
+module C = Codesign_ir.Cdfg
+module E = Codesign_rtl.Estimate
+
+type t = { start : int array; length : int }
+
+let is_io name = String.contains name ':'
+
+let op_delay (op : C.opcode) =
+  match op with
+  | C.Const _ -> 0
+  | C.Read nm | C.Write nm ->
+      (* plain variables are wires from/to architectural registers;
+         port/channel accesses occupy a cycle of handshake *)
+      if is_io nm then 1 else 0
+  | _ -> E.hw_op_delay op
+
+let fu_class (op : C.opcode) =
+  match op with
+  | C.Add | C.Sub | C.Neg -> Some "alu"
+  | C.And | C.Or | C.Xor | C.Not -> Some "logic"
+  | C.Mul -> Some "mul"
+  | C.Div | C.Rem -> Some "div"
+  | C.Shl | C.Shr -> Some "shift"
+  | C.Lt | C.Eq -> Some "cmp"
+  | C.Load _ | C.Store _ -> Some "mem"
+  | C.Const _ | C.Read _ | C.Write _ -> None
+
+let fu_class_area = function
+  | "alu" -> 40
+  | "logic" -> 16
+  | "mul" -> 320
+  | "div" -> 960
+  | "shift" -> 48
+  | "cmp" -> 24
+  | "mem" -> 64
+  | _ -> 32
+
+let ops_array (b : C.block) = Array.of_list b.C.ops
+
+let delays b =
+  Array.map (fun (o : C.op) -> op_delay o.C.opcode) (ops_array b)
+
+let finish_of sched d i = sched.(i) + d.(i)
+
+let makespan starts d =
+  Array.fold_left max 0 (Array.mapi (fun i s -> s + d.(i)) starts)
+
+(* length counts at least 1 cstep when any op exists *)
+let mk_schedule starts d n =
+  { start = starts; length = (if n = 0 then 0 else max 1 (makespan starts d)) }
+
+let asap (b : C.block) =
+  let ops = ops_array b in
+  let n = Array.length ops in
+  let d = delays b in
+  let starts = Array.make n 0 in
+  Array.iteri
+    (fun i (o : C.op) ->
+      let s =
+        List.fold_left
+          (fun acc a -> max acc (finish_of starts d a))
+          0 o.C.args
+      in
+      starts.(i) <- s)
+    ops;
+  mk_schedule starts d n
+
+let alap (b : C.block) ~latency =
+  let ops = ops_array b in
+  let n = Array.length ops in
+  let d = delays b in
+  let a = asap b in
+  if latency < a.length then
+    invalid_arg
+      (Printf.sprintf "Sched.alap: latency %d < critical path %d" latency
+         a.length);
+  (* finish deadline per op, walking in reverse dependence order *)
+  let deadline = Array.make n latency in
+  for i = n - 1 downto 0 do
+    let o = ops.(i) in
+    (* producers of o must finish by o's start *)
+    List.iter
+      (fun arg ->
+        let limit = deadline.(i) - d.(i) in
+        if limit < deadline.(arg) then deadline.(arg) <- limit)
+      o.C.args
+  done;
+  let starts = Array.init n (fun i -> deadline.(i) - d.(i)) in
+  { start = starts; length = latency }
+
+let mobility (b : C.block) =
+  let a = asap b in
+  if Array.length a.start = 0 then [||]
+  else
+    let l = alap b ~latency:a.length in
+    Array.init (Array.length a.start) (fun i -> l.start.(i) - a.start.(i))
+
+let list_schedule (b : C.block) ~resources =
+  List.iter
+    (fun (c, k) ->
+      if k <= 0 then
+        invalid_arg ("Sched.list_schedule: non-positive bound for " ^ c))
+    resources;
+  let ops = ops_array b in
+  let n = Array.length ops in
+  let d = delays b in
+  (* priority = length of longest path to a sink (critical-path priority) *)
+  let prio = Array.make n 0 in
+  let consumers = Array.make n [] in
+  Array.iteri
+    (fun i (o : C.op) ->
+      List.iter (fun a -> consumers.(a) <- i :: consumers.(a)) o.C.args)
+    ops;
+  for i = n - 1 downto 0 do
+    prio.(i) <-
+      d.(i)
+      + List.fold_left (fun acc c -> max acc prio.(c)) 0 consumers.(i)
+  done;
+  let starts = Array.make n (-1) in
+  let scheduled = Array.make n false in
+  let n_done = ref 0 in
+  (* busy.(class) = list of (fu_busy_until) not needed: track per-cstep usage *)
+  let usage_at : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let cap c = List.assoc_opt c resources in
+  let cstep = ref 0 in
+  while !n_done < n do
+    (* Within a cstep, iterate to fixpoint: scheduling a 0-delay op makes
+       its same-cstep consumers ready immediately. *)
+    let progressed = ref true in
+    while !progressed do
+      progressed := false;
+      (* ready ops whose producers have finished by !cstep *)
+      let ready =
+        List.filter
+          (fun i ->
+            (not scheduled.(i))
+            && List.for_all
+                 (fun a -> scheduled.(a) && starts.(a) + d.(a) <= !cstep)
+                 ops.(i).C.args)
+          (List.init n Fun.id)
+      in
+      (* highest priority first; ties by id for determinism *)
+      let ready =
+        List.sort
+          (fun i j ->
+            if prio.(i) <> prio.(j) then compare prio.(j) prio.(i)
+            else compare i j)
+          ready
+      in
+      List.iter
+        (fun i ->
+          let fits =
+            match fu_class ops.(i).C.opcode with
+            | None -> true
+            | Some cls -> (
+                match cap cls with
+                | None -> true
+                | Some k ->
+                    (* the op occupies its FU for d.(i) csteps *)
+                    let span = max 1 d.(i) in
+                    let ok = ref true in
+                    for t = !cstep to !cstep + span - 1 do
+                      let u =
+                        try Hashtbl.find usage_at (cls, t)
+                        with Not_found -> 0
+                      in
+                      if u >= k then ok := false
+                    done;
+                    !ok)
+          in
+          if fits then begin
+            starts.(i) <- !cstep;
+            scheduled.(i) <- true;
+            incr n_done;
+            progressed := true;
+            match fu_class ops.(i).C.opcode with
+            | None -> ()
+            | Some cls ->
+                let span = max 1 d.(i) in
+                for t = !cstep to !cstep + span - 1 do
+                  let u =
+                    try Hashtbl.find usage_at (cls, t) with Not_found -> 0
+                  in
+                  Hashtbl.replace usage_at (cls, t) (u + 1)
+                done
+          end)
+        ready
+    done;
+    incr cstep;
+    if !cstep > 10 * ((n * 10) + 16) then
+      invalid_arg "Sched.list_schedule: no progress (internal error)"
+  done;
+  mk_schedule starts d n
+
+let usage (b : C.block) sched =
+  let ops = ops_array b in
+  let d = delays b in
+  let tbl : (string * int, int) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i (o : C.op) ->
+      match fu_class o.C.opcode with
+      | None -> ()
+      | Some cls ->
+          let span = max 1 d.(i) in
+          for t = sched.start.(i) to sched.start.(i) + span - 1 do
+            let u = try Hashtbl.find tbl (cls, t) with Not_found -> 0 in
+            Hashtbl.replace tbl (cls, t) (u + 1)
+          done)
+    ops;
+  let peak : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (cls, _) u ->
+      let cur = try Hashtbl.find peak cls with Not_found -> 0 in
+      if u > cur then Hashtbl.replace peak cls u)
+    tbl;
+  Hashtbl.fold (fun c u acc -> (c, u) :: acc) peak [] |> List.sort compare
+
+let force_directed (b : C.block) ~latency =
+  let ops = ops_array b in
+  let n = Array.length ops in
+  let d = delays b in
+  let a = asap b in
+  if latency < a.length then
+    invalid_arg
+      (Printf.sprintf "Sched.force_directed: latency %d < critical path %d"
+         latency a.length);
+  let l = alap b ~latency in
+  (* current feasible window per op *)
+  let lo = Array.copy a.start and hi = Array.copy l.start in
+  let fixed = Array.make n false in
+  let span i = max 1 d.(i) in
+  let horizon = latency + Array.fold_left max 1 (Array.map (fun x -> max 1 x) d) + 2 in
+  (* propagate window tightening through dependences *)
+  let tighten () =
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      Array.iteri
+        (fun i (o : C.op) ->
+          List.iter
+            (fun arg ->
+              (* producer must finish before consumer starts *)
+              if lo.(arg) + d.(arg) > lo.(i) then begin
+                lo.(i) <- lo.(arg) + d.(arg);
+                changed := true
+              end;
+              if hi.(i) - d.(arg) < hi.(arg) then begin
+                hi.(arg) <- hi.(i) - d.(arg);
+                changed := true
+              end)
+            o.C.args)
+        ops
+    done
+  in
+  tighten ();
+  let remaining = ref n in
+  Array.iteri
+    (fun i _ ->
+      if lo.(i) = hi.(i) then begin
+        fixed.(i) <- true;
+        decr remaining
+      end)
+    ops;
+  (* probability that op i occupies cstep t under its current window:
+     uniform start in [lo, hi], occupying [s, s+span) *)
+  let prob_of i =
+    let w = hi.(i) - lo.(i) + 1 in
+    let p = Array.make horizon 0.0 in
+    for s = lo.(i) to hi.(i) do
+      for t = s to min (horizon - 1) (s + span i - 1) do
+        p.(t) <- p.(t) +. (1.0 /. float_of_int w)
+      done
+    done;
+    p
+  in
+  (* distribution graphs per FU class, rebuilt after every fix (windows
+     shrink under tightening, so incremental updates are fiddly; a full
+     rebuild is O(n * window) and cheap enough) *)
+  let build_dgs () =
+    let dgs : (string, float array) Hashtbl.t = Hashtbl.create 8 in
+    Array.iteri
+      (fun i (o : C.op) ->
+        match fu_class o.C.opcode with
+        | None -> ()
+        | Some cls ->
+            let dg =
+              match Hashtbl.find_opt dgs cls with
+              | Some a -> a
+              | None ->
+                  let a = Array.make horizon 0.0 in
+                  Hashtbl.replace dgs cls a;
+                  a
+            in
+            let p = prob_of i in
+            for t = 0 to horizon - 1 do
+              dg.(t) <- dg.(t) +. p.(t)
+            done)
+      ops;
+    dgs
+  in
+  while !remaining > 0 do
+    let dgs = build_dgs () in
+    (* pick the unfixed (op, cstep) with minimal self-force *)
+    let best = ref None in
+    let consider cand =
+      match (!best, cand) with
+      | None, _ -> best := Some cand
+      | Some (f, bi, bs), (fc, ic, sc) ->
+          if fc < f -. 1e-9 || (abs_float (fc -. f) <= 1e-9 && (ic, sc) < (bi, bs))
+          then best := Some cand
+    in
+    Array.iteri
+      (fun i (o : C.op) ->
+        if not fixed.(i) then
+          match fu_class o.C.opcode with
+          | None -> consider (0.0, i, lo.(i))
+          | Some cls ->
+              let dg = Hashtbl.find dgs cls in
+              (* prefix sums of dg for O(1) interval queries *)
+              let pre = Array.make (horizon + 1) 0.0 in
+              for t = 0 to horizon - 1 do
+                pre.(t + 1) <- pre.(t) +. dg.(t)
+              done;
+              (* force(s) = sum_{t in [s, s+span)} dg(t) - cross
+                 where cross = sum_t dg(t) * p_i(t) is s-independent *)
+              let p = prob_of i in
+              let cross = ref 0.0 in
+              for t = lo.(i) to min (horizon - 1) (hi.(i) + span i - 1) do
+                cross := !cross +. (dg.(t) *. p.(t))
+              done;
+              for s = lo.(i) to hi.(i) do
+                let f =
+                  pre.(min horizon (s + span i)) -. pre.(s) -. !cross
+                in
+                consider (f, i, s)
+              done)
+      ops;
+    (match !best with
+    | None -> assert false
+    | Some (_, i, s) ->
+        lo.(i) <- s;
+        hi.(i) <- s;
+        fixed.(i) <- true;
+        decr remaining;
+        tighten ();
+        (* tightening may collapse further windows *)
+        Array.iteri
+          (fun j _ ->
+            if (not fixed.(j)) && lo.(j) = hi.(j) then begin
+              fixed.(j) <- true;
+              decr remaining
+            end)
+          ops)
+  done;
+  { start = Array.copy lo; length = latency }
+
+let verify (b : C.block) sched =
+  let ops = ops_array b in
+  let d = delays b in
+  Array.iteri
+    (fun i (o : C.op) ->
+      if sched.start.(i) < 0 then
+        invalid_arg (Printf.sprintf "Sched.verify: op %d unscheduled" i);
+      List.iter
+        (fun a ->
+          if sched.start.(a) + d.(a) > sched.start.(i) then
+            invalid_arg
+              (Printf.sprintf
+                 "Sched.verify: op %d starts at %d before producer %d \
+                  finishes at %d"
+                 i sched.start.(i) a
+                 (sched.start.(a) + d.(a))))
+        o.C.args)
+    ops

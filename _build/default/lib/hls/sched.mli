@@ -1,0 +1,57 @@
+(** Operation scheduling for high-level synthesis.
+
+    Schedules the data-flow graph of one {!Codesign_ir.Cdfg.block} into
+    control steps (csteps).  Delays come from the hardware delay model
+    ({!Codesign_rtl.Estimate.hw_op_delay}): wire-like operations
+    ([Const]/[Read]/[Write]) take 0 cycles, single-cycle ALU ops 1,
+    multipliers 2, dividers 8, memory 2.
+
+    Three schedulers are provided:
+    - {!asap}/{!alap} — unconstrained bounds (and {!mobility});
+    - {!list_schedule} — resource-constrained list scheduling with
+      critical-path priority;
+    - {!force_directed} — latency-constrained force-directed scheduling
+      (Paulin/Knight style, self-forces only), which minimises the
+      expected peak resource usage under a latency bound. *)
+
+type t = {
+  start : int array;  (** cstep at which each op begins *)
+  length : int;  (** total csteps (makespan) *)
+}
+
+val op_delay : Codesign_ir.Cdfg.opcode -> int
+(** The HLS delay model described above. *)
+
+val fu_class : Codesign_ir.Cdfg.opcode -> string option
+(** Functional-unit class an opcode occupies ([None] for wire-like ops):
+    ["alu"] add/sub/neg, ["logic"] and/or/xor/not, ["mul"], ["div"]
+    div/rem, ["shift"], ["cmp"] lt/eq, ["mem"] load/store. *)
+
+val fu_class_area : string -> int
+(** Area of one unit of a class (32-bit NAND-equivalents). *)
+
+val asap : Codesign_ir.Cdfg.block -> t
+
+val alap : Codesign_ir.Cdfg.block -> latency:int -> t
+(** @raise Invalid_argument if [latency] is below the critical path. *)
+
+val mobility : Codesign_ir.Cdfg.block -> int array
+(** ALAP(cp) - ASAP slack per op. *)
+
+val list_schedule :
+  Codesign_ir.Cdfg.block -> resources:(string * int) list -> t
+(** Resource-constrained list scheduling; classes absent from
+    [resources] are unconstrained.  @raise Invalid_argument on a
+    non-positive constraint. *)
+
+val force_directed : Codesign_ir.Cdfg.block -> latency:int -> t
+(** Latency-constrained FDS. @raise Invalid_argument if [latency] is
+    below the critical path. *)
+
+val usage : Codesign_ir.Cdfg.block -> t -> (string * int) list
+(** Peak concurrent FU usage per class under a schedule (the FU
+    allocation this schedule needs), sorted by class. *)
+
+val verify : Codesign_ir.Cdfg.block -> t -> unit
+(** Checks dependence feasibility (consumer starts after producer
+    finishes).  @raise Invalid_argument on violation. *)

@@ -1,0 +1,1 @@
+lib/ir/behavior.ml: Array Cdfg Format Hashtbl List Option Printf String

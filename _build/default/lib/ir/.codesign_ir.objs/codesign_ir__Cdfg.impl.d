@@ -1,0 +1,1 @@
+lib/ir/cdfg.ml: Array Format Graph_algo Hashtbl List Printf

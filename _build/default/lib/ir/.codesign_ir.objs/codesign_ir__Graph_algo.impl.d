@@ -1,0 +1,1 @@
+lib/ir/graph_algo.ml: Array Buffer Fun List Printf Queue

@@ -1,0 +1,1 @@
+lib/ir/process_network.ml: Array Behavior Format Graph_algo List Printf

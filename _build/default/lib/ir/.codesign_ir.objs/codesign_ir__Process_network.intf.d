@@ -1,0 +1,1 @@
+lib/ir/process_network.mli: Behavior Format Graph_algo

@@ -1,0 +1,1 @@
+lib/ir/rng.ml: Array Int64 List Stdlib

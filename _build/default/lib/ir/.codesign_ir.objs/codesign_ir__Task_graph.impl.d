@@ -1,0 +1,1 @@
+lib/ir/task_graph.ml: Array Format Graph_algo List Printf

@@ -1,0 +1,1 @@
+lib/ir/task_graph.mli: Format Graph_algo

@@ -1,0 +1,251 @@
+type t = {
+  n : int;
+  succs : int list array; (* stored reversed at build, then re-reversed *)
+  preds : int list array;
+  edge_count : int;
+}
+
+let create ~n ~edges =
+  if n < 0 then invalid_arg "Graph_algo.create: negative node count";
+  let succs = Array.make (max n 1) [] and preds = Array.make (max n 1) [] in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg
+          (Printf.sprintf "Graph_algo.create: edge (%d,%d) outside [0,%d)" u v
+             n);
+      succs.(u) <- v :: succs.(u);
+      preds.(v) <- u :: preds.(v))
+    edges;
+  for i = 0 to n - 1 do
+    succs.(i) <- List.rev succs.(i);
+    preds.(i) <- List.rev preds.(i)
+  done;
+  { n; succs; preds; edge_count = List.length edges }
+
+let n g = g.n
+let edge_count g = g.edge_count
+let succ g u = g.succs.(u)
+let pred g u = g.preds.(u)
+let out_degree g u = List.length g.succs.(u)
+let in_degree g u = List.length g.preds.(u)
+let has_edge g u v = List.mem v g.succs.(u)
+
+module Iheap = struct
+  (* Minimal int min-heap for deterministic Kahn ordering. *)
+  type h = { mutable a : int array; mutable len : int }
+
+  let make () = { a = Array.make 16 0; len = 0 }
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let a' = Array.make (2 * h.len) 0 in
+      Array.blit h.a 0 a' 0 h.len;
+      h.a <- a'
+    end;
+    h.a.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      h.a.(p) > h.a.(!i)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let m = ref !i in
+        if l < h.len && h.a.(l) < h.a.(!m) then m := l;
+        if r < h.len && h.a.(r) < h.a.(!m) then m := r;
+        if !m = !i then continue := false
+        else begin
+          let tmp = h.a.(!m) in
+          h.a.(!m) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !m
+        end
+      done;
+      Some top
+    end
+end
+
+let topo_sort g =
+  let indeg = Array.init g.n (fun i -> in_degree g i) in
+  let heap = Iheap.make () in
+  for i = 0 to g.n - 1 do
+    if indeg.(i) = 0 then Iheap.push heap i
+  done;
+  let order = ref [] and count = ref 0 in
+  let rec loop () =
+    match Iheap.pop heap with
+    | None -> ()
+    | Some u ->
+        order := u :: !order;
+        incr count;
+        List.iter
+          (fun v ->
+            indeg.(v) <- indeg.(v) - 1;
+            if indeg.(v) = 0 then Iheap.push heap v)
+          g.succs.(u);
+        loop ()
+  in
+  loop ();
+  if !count = g.n then Some (List.rev !order) else None
+
+let is_dag g = topo_sort g <> None
+
+let sources g =
+  List.filter (fun i -> in_degree g i = 0) (List.init g.n Fun.id)
+
+let sinks g = List.filter (fun i -> out_degree g i = 0) (List.init g.n Fun.id)
+
+let require_topo g name =
+  match topo_sort g with
+  | Some o -> o
+  | None -> invalid_arg (name ^ ": graph is cyclic")
+
+let longest_path g ~weight =
+  let order = require_topo g "Graph_algo.longest_path" in
+  let dist = Array.make g.n 0 in
+  List.iter
+    (fun u ->
+      let best_pred =
+        List.fold_left (fun acc p -> max acc dist.(p)) 0 g.preds.(u)
+      in
+      dist.(u) <- best_pred + weight u)
+    order;
+  dist
+
+let critical_path g ~weight =
+  if g.n = 0 then ([], 0)
+  else begin
+    let dist = longest_path g ~weight in
+    let last = ref 0 in
+    for i = 1 to g.n - 1 do
+      if dist.(i) > dist.(!last) then last := i
+    done;
+    (* Walk backwards: dist u = (max over preds of dist) + weight u, so the
+       predecessor with maximal dist always lies on a realising path. *)
+    let rec walk u acc =
+      let acc = u :: acc in
+      match g.preds.(u) with
+      | [] -> acc
+      | p0 :: rest ->
+          let best =
+            List.fold_left (fun b p -> if dist.(p) > dist.(b) then p else b)
+              p0 rest
+          in
+          walk best acc
+    in
+    (walk !last [], dist.(!last))
+  end
+
+let bfs_mark adj start n =
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  Queue.push start q;
+  seen.(start) <- true;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun v ->
+        if not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.push v q
+        end)
+      adj.(u)
+  done;
+  seen
+
+let reachable g u = bfs_mark g.succs u g.n
+let ancestors g u = bfs_mark g.preds u g.n
+
+let weakly_connected_components g =
+  let comp = Array.make g.n (-1) in
+  let next = ref 0 in
+  for i = 0 to g.n - 1 do
+    if comp.(i) = -1 then begin
+      let c = !next in
+      incr next;
+      let q = Queue.create () in
+      Queue.push i q;
+      comp.(i) <- c;
+      while not (Queue.is_empty q) do
+        let u = Queue.pop q in
+        let visit v =
+          if comp.(v) = -1 then begin
+            comp.(v) <- c;
+            Queue.push v q
+          end
+        in
+        List.iter visit g.succs.(u);
+        List.iter visit g.preds.(u)
+      done
+    end
+  done;
+  let buckets = Array.make !next [] in
+  for i = g.n - 1 downto 0 do
+    buckets.(comp.(i)) <- i :: buckets.(comp.(i))
+  done;
+  Array.to_list buckets
+
+let transitive_closure g =
+  let c = Array.init g.n (fun u -> bfs_mark g.succs u g.n) in
+  c
+
+let all_pairs_longest g ~weight =
+  let order = require_topo g "Graph_algo.all_pairs_longest" in
+  let d = Array.make_matrix g.n g.n min_int in
+  for s = 0 to g.n - 1 do
+    d.(s).(s) <- weight s;
+    List.iter
+      (fun u ->
+        if d.(s).(u) <> min_int then
+          List.iter
+            (fun v ->
+              let cand = d.(s).(u) + weight v in
+              if cand > d.(s).(v) then d.(s).(v) <- cand)
+            g.succs.(u))
+      order
+  done;
+  d
+
+let depth g =
+  let order = require_topo g "Graph_algo.depth" in
+  let d = Array.make g.n 0 in
+  List.iter
+    (fun u ->
+      List.iter
+        (fun p -> if d.(p) + 1 > d.(u) then d.(u) <- d.(p) + 1)
+        g.preds.(u))
+    order;
+  d
+
+let dot ?(name = "g") ?(label = string_of_int) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  for i = 0 to g.n - 1 do
+    Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" i (label i))
+  done;
+  for u = 0 to g.n - 1 do
+    List.iter
+      (fun v -> Buffer.add_string buf (Printf.sprintf "  n%d -> n%d;\n" u v))
+      g.succs.(u)
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,56 @@
+(** Static structure of a network of communicating processes.
+
+    This is the specification form for Type II systems modelled at the
+    [send]/[receive]/[wait] abstraction level (paper Fig. 3, ref [3]):
+    each process is a {!Behavior.proc}, channels are typed point-to-point
+    FIFOs, and a {i mapping} assigns each process to a software or
+    hardware implementation.  Execution semantics live in
+    {!Codesign.Cosim}; this module only owns the structure and its
+    static sanity checks. *)
+
+type mapping =
+  | Sw  (** runs on the instruction-set processor *)
+  | Hw  (** synthesised to a dedicated hardware thread *)
+
+type channel = {
+  cname : string;
+  src : string;  (** producing process name *)
+  dst : string;  (** consuming process name *)
+  depth : int;  (** FIFO depth; 0 = rendezvous *)
+}
+
+type t = {
+  name : string;
+  procs : (Behavior.proc * mapping) list;
+  channels : channel list;
+}
+
+val make :
+  ?name:string -> (Behavior.proc * mapping) list -> channel list -> t
+(** Validates: process names unique; channel names unique; channel
+    endpoints name existing processes and differ; every channel a process
+    sends on / receives from in its behaviour is declared with that
+    process as the matching endpoint.  @raise Invalid_argument
+    otherwise. *)
+
+val find_proc : t -> string -> Behavior.proc * mapping
+(** @raise Not_found on unknown name. *)
+
+val channels_between : t -> string -> string -> channel list
+(** Channels with the given (src, dst) process pair. *)
+
+val cut_channels : t -> channel list
+(** Channels that cross the HW/SW boundary under the current mapping —
+    the communication the partitioners try to minimise. *)
+
+val remap : t -> (string * mapping) list -> t
+(** Functional update of process mappings; unknown names are ignored. *)
+
+val sw_procs : t -> Behavior.proc list
+val hw_procs : t -> Behavior.proc list
+
+val comm_graph : t -> Graph_algo.t * string array
+(** Process-level communication graph (one node per process, one edge per
+    channel) plus the node-index-to-name table. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Array Buffer Format Fun Hashtbl Isa List Printf String

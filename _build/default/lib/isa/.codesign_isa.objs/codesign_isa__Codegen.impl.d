@@ -1,0 +1,1 @@
+lib/isa/codegen.ml: Asm Codesign_ir Cpu Isa List Printf String

@@ -1,0 +1,1 @@
+lib/isa/codegen.mli: Asm Codesign_ir Cpu

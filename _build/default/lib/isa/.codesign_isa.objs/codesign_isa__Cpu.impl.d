@@ -1,0 +1,1 @@
+lib/isa/cpu.ml: Array Isa Printf

@@ -1,0 +1,1 @@
+lib/isa/cpu.mli: Isa

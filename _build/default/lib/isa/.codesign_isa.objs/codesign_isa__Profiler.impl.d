@@ -1,0 +1,1 @@
+lib/isa/profiler.ml: Array Asm Cpu Format Hashtbl List

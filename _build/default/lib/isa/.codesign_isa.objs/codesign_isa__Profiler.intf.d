@@ -1,0 +1,1 @@
+lib/isa/profiler.mli: Asm Cpu Format

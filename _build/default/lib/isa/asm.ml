@@ -1,0 +1,248 @@
+type item = Label of string | Ins of string Isa.instr
+type image = { code : Isa.program; symbols : (string * int) list }
+
+let assemble items =
+  let tbl = Hashtbl.create 16 in
+  let idx = ref 0 in
+  List.iter
+    (function
+      | Label l ->
+          if Hashtbl.mem tbl l then
+            invalid_arg ("Asm.assemble: duplicate label " ^ l);
+          Hashtbl.replace tbl l !idx
+      | Ins _ -> incr idx)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt tbl l with
+    | Some i -> i
+    | None -> invalid_arg ("Asm.assemble: undefined label " ^ l)
+  in
+  let code =
+    List.filter_map
+      (function
+        | Label _ -> None
+        | Ins i ->
+            Isa.validate i;
+            Some (Isa.map_target resolve i))
+      items
+    |> Array.of_list
+  in
+  let symbols =
+    Hashtbl.fold (fun l i acc -> (l, i) :: acc) tbl []
+    |> List.sort (fun (_, a) (_, b) -> compare a b)
+  in
+  { code; symbols }
+
+let label_of img idx =
+  List.fold_left
+    (fun acc (l, i) -> if i <= idx then Some l else acc)
+    None img.symbols
+
+let size_bytes items =
+  Isa.instr_bytes
+  * List.length (List.filter (function Ins _ -> true | _ -> false) items)
+
+(* ------------------------------------------------------------------ *)
+(* Text rendering                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let print items =
+  let buf = Buffer.create 256 in
+  List.iter
+    (function
+      | Label l -> Buffer.add_string buf (l ^ ":\n")
+      | Ins i ->
+          Buffer.add_string buf "  ";
+          Buffer.add_string buf
+            (Format.asprintf "%a" (Isa.pp ~target:Fun.id) i);
+          Buffer.add_char buf '\n')
+    items;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let aluops =
+  [
+    ("add", Isa.Add); ("sub", Isa.Sub); ("mul", Isa.Mul); ("div", Isa.Div);
+    ("rem", Isa.Rem); ("and", Isa.And); ("or", Isa.Or); ("xor", Isa.Xor);
+    ("shl", Isa.Shl); ("shr", Isa.Shr); ("slt", Isa.Slt); ("seq", Isa.Seq);
+  ]
+
+let conds =
+  [ ("eq", Isa.Eq); ("ne", Isa.Ne); ("lt", Isa.Lt); ("ge", Isa.Ge) ]
+
+exception Syntax of string
+
+let parse_reg tok =
+  let tok = String.trim tok in
+  if String.length tok < 2 || tok.[0] <> 'r' then
+    raise (Syntax ("expected register, got " ^ tok))
+  else
+    match int_of_string_opt (String.sub tok 1 (String.length tok - 1)) with
+    | Some r when r >= 0 && r < Isa.n_regs -> r
+    | _ -> raise (Syntax ("bad register " ^ tok))
+
+let parse_int tok =
+  match int_of_string_opt (String.trim tok) with
+  | Some i -> i
+  | None -> raise (Syntax ("expected integer, got " ^ tok))
+
+(* "8(r5)" -> (offset, reg) *)
+let parse_mem tok =
+  let tok = String.trim tok in
+  match String.index_opt tok '(' with
+  | Some i when tok.[String.length tok - 1] = ')' ->
+      let off = parse_int (String.sub tok 0 i) in
+      let reg =
+        parse_reg (String.sub tok (i + 1) (String.length tok - i - 2))
+      in
+      (off, reg)
+  | _ -> raise (Syntax ("expected off(reg), got " ^ tok))
+
+let split_operands s =
+  String.split_on_char ',' s |> List.map String.trim
+  |> List.filter (fun t -> t <> "")
+
+let parse_instr mnem operands : string Isa.instr =
+  let ops = split_operands operands in
+  let nth i =
+    match List.nth_opt ops i with
+    | Some t -> t
+    | None -> raise (Syntax ("missing operand " ^ string_of_int (i + 1)))
+  in
+  let arity n =
+    if List.length ops <> n then
+      raise
+        (Syntax
+           (Printf.sprintf "%s expects %d operands, got %d" mnem n
+              (List.length ops)))
+  in
+  match mnem with
+  | "li" ->
+      arity 2;
+      Isa.Li (parse_reg (nth 0), parse_int (nth 1))
+  | "lw" ->
+      arity 2;
+      let off, base = parse_mem (nth 1) in
+      Isa.Lw (parse_reg (nth 0), base, off)
+  | "sw" ->
+      arity 2;
+      let off, base = parse_mem (nth 1) in
+      Isa.Sw (parse_reg (nth 0), base, off)
+  | "j" ->
+      arity 1;
+      Isa.J (nth 0)
+  | "jal" ->
+      arity 2;
+      Isa.Jal (parse_reg (nth 0), nth 1)
+  | "jr" ->
+      arity 1;
+      Isa.Jr (parse_reg (nth 0))
+  | "in" ->
+      arity 2;
+      Isa.In (parse_reg (nth 0), parse_int (nth 1))
+  | "out" ->
+      arity 2;
+      Isa.Out (parse_int (nth 0), parse_reg (nth 1))
+  | "ei" ->
+      arity 0;
+      Isa.Ei
+  | "di" ->
+      arity 0;
+      Isa.Di
+  | "rti" ->
+      arity 0;
+      Isa.Rti
+  | "nop" ->
+      arity 0;
+      Isa.Nop
+  | "halt" ->
+      arity 0;
+      Isa.Halt
+  | _ -> (
+      (* b.<cond> *)
+      if String.length mnem > 2 && String.sub mnem 0 2 = "b." then begin
+        let c =
+          match List.assoc_opt (String.sub mnem 2 (String.length mnem - 2)) conds with
+          | Some c -> c
+          | None -> raise (Syntax ("unknown condition in " ^ mnem))
+        in
+        arity 3;
+        Isa.B (c, parse_reg (nth 0), parse_reg (nth 1), nth 2)
+      end
+      else if String.length mnem > 4 && String.sub mnem 0 4 = "cust" then begin
+        let e =
+          match int_of_string_opt (String.sub mnem 4 (String.length mnem - 4)) with
+          | Some e -> e
+          | None -> raise (Syntax ("bad custom opcode " ^ mnem))
+        in
+        arity 3;
+        Isa.Custom (e, parse_reg (nth 0), parse_reg (nth 1), parse_reg (nth 2))
+      end
+      else
+        (* ALU register or immediate form *)
+        let is_imm = mnem.[String.length mnem - 1] = 'i' in
+        let base =
+          if is_imm then String.sub mnem 0 (String.length mnem - 1) else mnem
+        in
+        match List.assoc_opt base aluops with
+        | None -> raise (Syntax ("unknown mnemonic " ^ mnem))
+        | Some op ->
+            arity 3;
+            if is_imm then
+              Isa.Alui (op, parse_reg (nth 0), parse_reg (nth 1),
+                        parse_int (nth 2))
+            else
+              Isa.Alu (op, parse_reg (nth 0), parse_reg (nth 1),
+                       parse_reg (nth 2)))
+
+let strip_comment line =
+  let cut c s =
+    match String.index_opt s c with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  cut ';' (cut '#' line)
+
+let parse text =
+  let items = ref [] in
+  let lines = String.split_on_char '\n' text in
+  List.iteri
+    (fun lineno line ->
+      let line = String.trim (strip_comment line) in
+      if line <> "" then begin
+        try
+          (* optional leading "label:" *)
+          let rest =
+            match String.index_opt line ':' with
+            | Some i
+              when String.for_all
+                     (fun c ->
+                       c = '_' || c = '.'
+                       || (c >= 'a' && c <= 'z')
+                       || (c >= 'A' && c <= 'Z')
+                       || (c >= '0' && c <= '9'))
+                     (String.sub line 0 i) ->
+                items := Label (String.sub line 0 i) :: !items;
+                String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            | _ -> line
+          in
+          if rest <> "" then begin
+            let mnem, operands =
+              match String.index_opt rest ' ' with
+              | Some i ->
+                  ( String.sub rest 0 i,
+                    String.sub rest (i + 1) (String.length rest - i - 1) )
+              | None -> (rest, "")
+            in
+            items := Ins (parse_instr (String.lowercase_ascii mnem) operands)
+                     :: !items
+          end
+        with Syntax msg ->
+          invalid_arg
+            (Printf.sprintf "Asm.parse: line %d: %s" (lineno + 1) msg)
+      end)
+    lines;
+  List.rev !items

@@ -1,0 +1,39 @@
+(** Symbolic assembly: labels, a two-pass assembler, and a textual
+    assembly parser.
+
+    A source program is a list of {!item}s mixing label definitions and
+    instructions with symbolic branch targets.  {!assemble} resolves
+    labels to absolute instruction indices and returns the executable
+    image together with its symbol table — kept around so the profiler
+    can attribute cycles back to labelled regions. *)
+
+type item = Label of string | Ins of string Isa.instr
+
+type image = {
+  code : Isa.program;
+  symbols : (string * int) list;  (** label -> instruction index *)
+}
+
+val assemble : item list -> image
+(** Two-pass assembly.  @raise Invalid_argument on duplicate or undefined
+    labels, or on an instruction that fails {!Isa.validate}. *)
+
+val label_of : image -> int -> string option
+(** Innermost label covering an instruction index: the label with the
+    greatest index [<=] the given one. *)
+
+val parse : string -> item list
+(** Parses textual assembly.  Grammar, one statement per line:
+    - [label:] defines a label (may share a line with an instruction);
+    - [; comment] and [# comment] run to end of line;
+    - instructions as printed by {!Isa.pp}, e.g.
+      [add r3, r1, r2], [li r1, 42], [lw r2, 8(r5)], [b.lt r1, r2, loop],
+      [in r1, 3], [out 3, r1], [cust2 r1, r2, r3], [halt].
+    @raise Invalid_argument with a line number on syntax errors. *)
+
+val print : item list -> string
+(** Renders items back to parseable text (inverse of {!parse} up to
+    whitespace). *)
+
+val size_bytes : item list -> int
+(** Code size of the instructions in the list. *)

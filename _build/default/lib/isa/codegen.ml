@@ -1,0 +1,222 @@
+module B = Codesign_ir.Behavior
+
+type layout = {
+  base : int;
+  var_addr : (string * int) list;
+  arr_addr : (string * int) list;
+  data_words : int;
+}
+
+let default_base = 4096
+
+(* Expression register stack. *)
+let stack_base = 8
+let stack_top = 27
+
+let layout_of ?(base = default_base) (p : B.proc) =
+  let vars = B.vars_of p in
+  let next = ref base in
+  let var_addr =
+    List.map
+      (fun v ->
+        let a = !next in
+        incr next;
+        (v, a))
+      vars
+  in
+  let arr_addr =
+    List.map
+      (fun (a, len) ->
+        let addr = !next in
+        next := !next + len;
+        (a, addr))
+      p.B.arrays
+  in
+  { base; var_addr; arr_addr; data_words = !next - base }
+
+let compile ?(base = default_base) ?(chan_ports = []) (p : B.proc) =
+  let lay = layout_of ~base p in
+  (* variables can also appear first on the left-hand side of assignments
+     inside generated code paths not covered by vars_of; vars_of already
+     collects all, so lookup failures are internal errors. *)
+  let var_addr v =
+    match List.assoc_opt v lay.var_addr with
+    | Some a -> a
+    | None -> invalid_arg ("Codegen: unknown variable " ^ v)
+  in
+  let arr_addr a =
+    match List.assoc_opt a lay.arr_addr with
+    | Some x -> x
+    | None -> invalid_arg ("Codegen: unknown array " ^ a)
+  in
+  let chan_port c =
+    match List.assoc_opt c chan_ports with
+    | Some p -> p
+    | None -> invalid_arg ("Codegen: no port mapping for channel " ^ c)
+  in
+  let items = ref [] in
+  let emit i = items := Asm.Ins i :: !items in
+  let label l = items := Asm.Label l :: !items in
+  let next_label = ref 0 in
+  let fresh prefix =
+    incr next_label;
+    Printf.sprintf "%s_%d" prefix !next_label
+  in
+  (* Evaluate [e] into the register for stack [level]. *)
+  let rec expr level (e : B.expr) =
+    let rd = stack_base + level in
+    if rd > stack_top then
+      invalid_arg "Codegen: expression too deep for register stack";
+    (match e with
+    | B.Int i -> emit (Isa.Li (rd, i))
+    | B.Var v -> emit (Isa.Lw (rd, 0, var_addr v))
+    | B.Idx (a, idx) ->
+        expr level idx;
+        (* rd holds the index; add array base, then load *)
+        emit (Isa.Alui (Isa.Add, rd, rd, arr_addr a));
+        emit (Isa.Lw (rd, rd, 0))
+    | B.Neg e ->
+        expr level e;
+        emit (Isa.Alu (Isa.Sub, rd, 0, rd))
+    | B.Not e ->
+        expr level e;
+        emit (Isa.Alui (Isa.Seq, rd, rd, 0))
+    | B.Ext (op, acc, a, b) ->
+        expr level acc;
+        expr (level + 1) a;
+        expr (level + 2) b;
+        if rd + 2 > stack_top then
+          invalid_arg "Codegen: expression too deep for register stack";
+        emit (Isa.Custom (op, rd, rd + 1, rd + 2))
+    | B.Bin (op, a, b) -> (
+        expr level a;
+        expr (level + 1) b;
+        let rs = rd + 1 in
+        if rs > stack_top then
+          invalid_arg "Codegen: expression too deep for register stack";
+        let simple o = emit (Isa.Alu (o, rd, rd, rs)) in
+        match op with
+        | B.Add -> simple Isa.Add
+        | B.Sub -> simple Isa.Sub
+        | B.Mul -> simple Isa.Mul
+        | B.Div -> simple Isa.Div
+        | B.Rem -> simple Isa.Rem
+        | B.And -> simple Isa.And
+        | B.Or -> simple Isa.Or
+        | B.Xor -> simple Isa.Xor
+        | B.Shl -> simple Isa.Shl
+        | B.Shr -> simple Isa.Shr
+        | B.Lt -> simple Isa.Slt
+        | B.Eq -> simple Isa.Seq
+        | B.Le ->
+            (* a <= b == !(b < a) *)
+            emit (Isa.Alu (Isa.Slt, rd, rs, rd));
+            emit (Isa.Alui (Isa.Seq, rd, rd, 0))
+        | B.Ne ->
+            emit (Isa.Alu (Isa.Seq, rd, rd, rs));
+            emit (Isa.Alui (Isa.Seq, rd, rd, 0))))
+  in
+  let store_var v level = emit (Isa.Sw (stack_base + level, 0, var_addr v)) in
+  let rec stmt (s : B.stmt) =
+    match s with
+    | B.Assign (v, e) ->
+        expr 0 e;
+        store_var v 0
+    | B.Store (a, i, e) ->
+        expr 0 i;
+        expr 1 e;
+        emit (Isa.Alui (Isa.Add, stack_base, stack_base, arr_addr a));
+        emit (Isa.Sw (stack_base + 1, stack_base, 0))
+    | B.If (c, t, []) ->
+        let lend = fresh "endif" in
+        expr 0 c;
+        emit (Isa.B (Isa.Eq, stack_base, 0, lend));
+        List.iter stmt t;
+        label lend
+    | B.If (c, t, e) ->
+        let lelse = fresh "else" and lend = fresh "endif" in
+        expr 0 c;
+        emit (Isa.B (Isa.Eq, stack_base, 0, lelse));
+        List.iter stmt t;
+        emit (Isa.J lend);
+        label lelse;
+        List.iter stmt e;
+        label lend
+    | B.While (c, body, _) ->
+        let lhead = fresh "while" and lend = fresh "endwhile" in
+        label lhead;
+        expr 0 c;
+        emit (Isa.B (Isa.Eq, stack_base, 0, lend));
+        List.iter stmt body;
+        emit (Isa.J lhead);
+        label lend
+    | B.For (v, lo, hi, body) ->
+        let lhead = fresh "for" and lend = fresh "endfor" in
+        expr 0 lo;
+        store_var v 0;
+        label lhead;
+        expr 0 hi;
+        emit (Isa.Lw (stack_base + 1, 0, var_addr v));
+        (* exit when v >= hi *)
+        emit (Isa.B (Isa.Ge, stack_base + 1, stack_base, lend));
+        List.iter stmt body;
+        emit (Isa.Lw (stack_base, 0, var_addr v));
+        emit (Isa.Alui (Isa.Add, stack_base, stack_base, 1));
+        store_var v 0;
+        emit (Isa.J lhead);
+        label lend
+    | B.PortOut (port, e) ->
+        expr 0 e;
+        emit (Isa.Out (port, stack_base))
+    | B.PortIn (v, port) ->
+        emit (Isa.In (stack_base, port));
+        store_var v 0
+    | B.Send (ch, e) ->
+        expr 0 e;
+        emit (Isa.Out (chan_port ch, stack_base))
+    | B.Recv (v, ch) ->
+        emit (Isa.In (stack_base, chan_port ch));
+        store_var v 0
+  in
+  List.iter stmt p.B.body;
+  emit Isa.Halt;
+  (List.rev !items, lay)
+
+let bind lay cpu bindings =
+  List.iter
+    (fun (k, v) ->
+      match String.index_opt k '[' with
+      | None -> (
+          match List.assoc_opt k lay.var_addr with
+          | Some a -> Cpu.write_mem cpu a v
+          | None -> () (* tolerate extra bindings, like Behavior.run *))
+      | Some i -> (
+          let name = String.sub k 0 i in
+          let idx =
+            int_of_string (String.sub k (i + 1) (String.length k - i - 2))
+          in
+          match List.assoc_opt name lay.arr_addr with
+          | Some a -> Cpu.write_mem cpu (a + idx) v
+          | None -> invalid_arg ("Codegen.bind: unknown array " ^ name)))
+    bindings
+
+let result lay cpu v =
+  match List.assoc_opt v lay.var_addr with
+  | Some a -> Cpu.read_mem cpu a
+  | None -> invalid_arg ("Codegen.result: unknown variable " ^ v)
+
+let read_array lay cpu a i =
+  match List.assoc_opt a lay.arr_addr with
+  | Some addr -> Cpu.read_mem cpu (addr + i)
+  | None -> invalid_arg ("Codegen.read_array: unknown array " ^ a)
+
+let run_compiled ?(env = Cpu.default_env) ?fuel (p : B.proc) bindings =
+  let items, lay = compile p in
+  let img = Asm.assemble items in
+  let cpu = Cpu.create ~env img.Asm.code in
+  bind lay cpu bindings;
+  (match Cpu.run ?fuel cpu with
+  | Cpu.Halted -> ()
+  | Cpu.Trapped msg -> failwith ("Codegen.run_compiled: trapped: " ^ msg)
+  | Cpu.Running -> assert false);
+  (List.map (fun v -> (v, result lay cpu v)) p.B.results, cpu)

@@ -1,0 +1,61 @@
+(** The software implementation path: compiles a {!Codesign_ir.Behavior}
+    process to host assembly.
+
+    The generated code follows a simple, predictable discipline so its
+    cycle counts are a stable software-cost model for the partitioners:
+
+    - scalar variables and arrays live in a static data segment
+      (word-addressed, base {!default_base});
+    - expressions evaluate on a register stack (r8-r27); programs whose
+      expressions nest deeper than 20 are rejected;
+    - every loop head and join point is labelled, so the profiler can
+      attribute cycles to source constructs;
+    - channel operations compile to port I/O on the ports given in
+      [chan_ports] — in co-simulation these ports are wired to bus
+      transactions or kernel channels.
+
+    The compiled code matches {!Codesign_ir.Behavior.run} semantics for programs
+    whose array indices stay in bounds (the interpreter clamps; the
+    machine traps). *)
+
+type layout = {
+  base : int;  (** data segment base (word address) *)
+  var_addr : (string * int) list;  (** scalar -> absolute word address *)
+  arr_addr : (string * int) list;  (** array -> base word address *)
+  data_words : int;  (** total data segment size *)
+}
+
+val default_base : int
+(** 4096. *)
+
+val layout_of : ?base:int -> Codesign_ir.Behavior.proc -> layout
+(** Address assignment only (no code). *)
+
+val compile :
+  ?base:int ->
+  ?chan_ports:(string * int) list ->
+  Codesign_ir.Behavior.proc ->
+  Asm.item list * layout
+(** Compile to symbolic assembly ending in [halt].
+    @raise Invalid_argument on expression nesting deeper than the
+    register stack, or on a channel operation with no port mapping. *)
+
+val bind : layout -> Cpu.t -> (string * int) list -> unit
+(** Pre-loads parameter bindings into CPU memory; array cells use the
+    ["name[index]"] key convention of {!Codesign_ir.Behavior.run}. *)
+
+val result : layout -> Cpu.t -> string -> int
+(** Reads a scalar variable back from CPU memory. *)
+
+val read_array : layout -> Cpu.t -> string -> int -> int
+(** Reads one array cell back from CPU memory. *)
+
+val run_compiled :
+  ?env:Cpu.env ->
+  ?fuel:int ->
+  Codesign_ir.Behavior.proc ->
+  (string * int) list ->
+  (string * int) list * Cpu.t
+(** Convenience: compile, assemble, bind, run to halt, and return the
+    [results] variables plus the CPU (for cycle counts).
+    @raise Failure if the CPU traps. *)

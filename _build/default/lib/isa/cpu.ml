@@ -1,0 +1,219 @@
+type status = Running | Halted | Trapped of string
+
+type env = {
+  port_in : int -> int;
+  port_out : int -> int -> unit;
+  custom : int -> int -> int -> int -> int;
+  custom_latency : int -> int;
+  mem_read : int -> int option;
+  mem_write : int -> int -> bool;
+}
+
+let default_env =
+  {
+    port_in = (fun _ -> 0);
+    port_out = (fun _ _ -> ());
+    custom = (fun _ _ _ _ -> 0);
+    custom_latency = (fun _ -> 1);
+    mem_read = (fun _ -> None);
+    mem_write = (fun _ _ -> false);
+  }
+
+type t = {
+  code : Isa.program;
+  mem : int array;
+  regs : int array;
+  env : env;
+  latency : int Isa.instr -> int;
+  irq_vector : int;
+  mutable pc : int;
+  mutable cycles : int;
+  mutable instret : int;
+  mutable status : status;
+  mutable irq_line : bool;
+  mutable irq_enable : bool;
+  mutable in_isr : bool;
+  mutable epc : int;
+  mutable retire_cb : (pc:int -> cycles:int -> unit) option;
+}
+
+let create ?(mem_words = 65536) ?(env = default_env)
+    ?(latency = Isa.default_latency) ?(irq_vector = 1) code =
+  {
+    code;
+    mem = Array.make mem_words 0;
+    regs = Array.make Isa.n_regs 0;
+    env;
+    latency;
+    irq_vector;
+    pc = 0;
+    cycles = 0;
+    instret = 0;
+    status = Running;
+    irq_line = false;
+    irq_enable = false;
+    in_isr = false;
+    epc = 0;
+    retire_cb = None;
+  }
+
+let reset t =
+  Array.fill t.regs 0 Isa.n_regs 0;
+  t.pc <- 0;
+  t.cycles <- 0;
+  t.instret <- 0;
+  t.status <- Running;
+  t.irq_enable <- false;
+  t.in_isr <- false;
+  t.epc <- 0
+
+let status t = t.status
+let cycles t = t.cycles
+let pc t = t.pc
+let instret t = t.instret
+let reg t r = t.regs.(r)
+
+let set_reg t r v = if r <> 0 then t.regs.(r) <- v
+
+let read_mem t a =
+  if a < 0 || a >= Array.length t.mem then
+    invalid_arg (Printf.sprintf "Cpu.read_mem: address %d out of range" a)
+  else t.mem.(a)
+
+let write_mem t a v =
+  if a < 0 || a >= Array.length t.mem then
+    invalid_arg (Printf.sprintf "Cpu.write_mem: address %d out of range" a)
+  else t.mem.(a) <- v
+
+let set_irq t level = t.irq_line <- level
+let irq_enabled t = t.irq_enable
+let on_retire t cb = t.retire_cb <- Some cb
+
+let alu op a b =
+  match op with
+  | Isa.Add -> a + b
+  | Isa.Sub -> a - b
+  | Isa.Mul -> a * b
+  | Isa.Div -> if b = 0 then 0 else a / b
+  | Isa.Rem -> if b = 0 then 0 else a mod b
+  | Isa.And -> a land b
+  | Isa.Or -> a lor b
+  | Isa.Xor -> a lxor b
+  | Isa.Shl -> a lsl (b land 31)
+  | Isa.Shr -> a asr (b land 31)
+  | Isa.Slt -> if a < b then 1 else 0
+  | Isa.Seq -> if a = b then 1 else 0
+
+let cond c a b =
+  match c with
+  | Isa.Eq -> a = b
+  | Isa.Ne -> a <> b
+  | Isa.Lt -> a < b
+  | Isa.Ge -> a >= b
+
+exception Trap of string
+
+let step t =
+  match t.status with
+  | Halted | Trapped _ -> 0
+  | Running -> (
+      (* take a pending interrupt between instructions *)
+      if t.irq_line && t.irq_enable && not t.in_isr then begin
+        t.epc <- t.pc;
+        t.pc <- t.irq_vector;
+        t.in_isr <- true;
+        t.irq_enable <- false;
+        t.cycles <- t.cycles + 2;
+        (* interrupt entry overhead *)
+        2
+      end
+      else if t.pc < 0 || t.pc >= Array.length t.code then begin
+        t.status <- Trapped (Printf.sprintf "pc %d out of range" t.pc);
+        0
+      end
+      else
+        let i = t.code.(t.pc) in
+        let this_pc = t.pc in
+        let next = t.pc + 1 in
+        try
+          let lat = ref (t.latency i) in
+          let mem_access a =
+            if a < 0 || a >= Array.length t.mem then
+              raise
+                (Trap (Printf.sprintf "mem access %d at pc %d" a this_pc))
+            else a
+          in
+          (match i with
+          | Isa.Alu (op, d, a, b) ->
+              set_reg t d (alu op t.regs.(a) t.regs.(b));
+              t.pc <- next
+          | Isa.Alui (op, d, a, imm) ->
+              set_reg t d (alu op t.regs.(a) imm);
+              t.pc <- next
+          | Isa.Li (d, imm) ->
+              set_reg t d imm;
+              t.pc <- next
+          | Isa.Lw (d, a, off) ->
+              let addr = t.regs.(a) + off in
+              (match t.env.mem_read addr with
+              | Some v -> set_reg t d v
+              | None -> set_reg t d t.mem.(mem_access addr));
+              t.pc <- next
+          | Isa.Sw (s, a, off) ->
+              let addr = t.regs.(a) + off in
+              if not (t.env.mem_write addr t.regs.(s)) then
+                t.mem.(mem_access addr) <- t.regs.(s);
+              t.pc <- next
+          | Isa.B (c, a, b, tgt) ->
+              if cond c t.regs.(a) t.regs.(b) then begin
+                t.pc <- tgt;
+                incr lat (* taken-branch penalty *)
+              end
+              else t.pc <- next
+          | Isa.J tgt -> t.pc <- tgt
+          | Isa.Jal (d, tgt) ->
+              set_reg t d next;
+              t.pc <- tgt
+          | Isa.Jr r -> t.pc <- t.regs.(r)
+          | Isa.In (d, port) ->
+              set_reg t d (t.env.port_in port);
+              t.pc <- next
+          | Isa.Out (port, s) ->
+              t.env.port_out port t.regs.(s);
+              t.pc <- next
+          | Isa.Custom (e, d, a, b) ->
+              set_reg t d (t.env.custom e t.regs.(d) t.regs.(a) t.regs.(b));
+              lat := t.env.custom_latency e;
+              t.pc <- next
+          | Isa.Ei ->
+              t.irq_enable <- true;
+              t.pc <- next
+          | Isa.Di ->
+              t.irq_enable <- false;
+              t.pc <- next
+          | Isa.Rti ->
+              t.pc <- t.epc;
+              t.in_isr <- false;
+              t.irq_enable <- true
+          | Isa.Nop -> t.pc <- next
+          | Isa.Halt ->
+              t.status <- Halted;
+              t.pc <- next);
+          t.cycles <- t.cycles + !lat;
+          t.instret <- t.instret + 1;
+          (match t.retire_cb with
+          | Some cb -> cb ~pc:this_pc ~cycles:!lat
+          | None -> ());
+          !lat
+        with Trap msg ->
+          t.status <- Trapped msg;
+          0)
+
+let run ?(fuel = 50_000_000) t =
+  let remaining = ref fuel in
+  while t.status = Running && !remaining > 0 do
+    ignore (step t);
+    decr remaining
+  done;
+  if t.status = Running then t.status <- Trapped "fuel exhausted";
+  t.status

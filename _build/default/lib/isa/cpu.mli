@@ -1,0 +1,87 @@
+(** The cycle-counting instruction-set simulator (ISS).
+
+    Executes an assembled {!Isa.program} over a word-addressed data
+    memory, counting cycles from a pluggable latency table.  The CPU is
+    simulation-framework-agnostic: it never touches the event kernel
+    itself.  Co-simulation drives it by calling {!step} from a kernel
+    process and advancing simulated time by the cycles each step reports;
+    port-I/O hooks may themselves blockon channels or bus transactions,
+    which suspends the whole CPU — exactly the behaviour of a core
+    stalled on a bus.
+
+    Interrupts: a level-sensitive request line ({!set_irq}).  When
+    enabled ([Ei]) and the line is high, the CPU saves PC and jumps to
+    the vector (instruction index 1 by convention, settable); [Rti]
+    restores the saved PC and re-enables interrupts. *)
+
+type status =
+  | Running
+  | Halted
+  | Trapped of string
+      (** PC or memory access out of range, or fuel exhausted *)
+
+(** Hooks connecting the core to its environment. *)
+type env = {
+  port_in : int -> int;  (** [In] instruction *)
+  port_out : int -> int -> unit;  (** [Out] instruction *)
+  custom : int -> int -> int -> int -> int;
+      (** [Custom (ext, rd, a, b)]: called as [custom ext old_rd rs1 rs2];
+          the old destination value enables accumulator-style
+          (read-modify-write) extension instructions *)
+  custom_latency : int -> int;  (** per-extension-opcode cycles *)
+  mem_read : int -> int option;
+      (** memory-mapped I/O intercept for [Lw]: [Some v] claims the
+          address (e.g. a bus transaction), [None] falls through to
+          internal memory *)
+  mem_write : int -> int -> bool;
+      (** memory-mapped I/O intercept for [Sw]: [true] claims the
+          address *)
+}
+
+val default_env : env
+(** Ports read 0 / discard, custom opcodes return 0 in 1 cycle, no
+    memory-mapped I/O. *)
+
+type t
+
+val create :
+  ?mem_words:int ->
+  ?env:env ->
+  ?latency:(int Isa.instr -> int) ->
+  ?irq_vector:int ->
+  Isa.program ->
+  t
+(** [mem_words] defaults to 65536; [latency] to {!Isa.default_latency};
+    [irq_vector] to 1. *)
+
+val reset : t -> unit
+(** Clears registers, PC and cycle count (memory is preserved). *)
+
+val status : t -> status
+val cycles : t -> int
+val pc : t -> int
+val instret : t -> int
+(** Instructions retired. *)
+
+val reg : t -> int -> int
+val set_reg : t -> int -> int -> unit
+val read_mem : t -> int -> int
+val write_mem : t -> int -> int -> unit
+
+val set_irq : t -> bool -> unit
+(** Drive the interrupt request line. *)
+
+val irq_enabled : t -> bool
+
+val step : t -> int
+(** Execute one instruction (or take a pending interrupt).  Returns the
+    cycles the step consumed (0 when already halted/trapped).  Status
+    may change as a side effect. *)
+
+val run : ?fuel:int -> t -> status
+(** Step until [Halted] or [Trapped]; [fuel] bounds the instruction
+    count (default 50 million) and exhaustion traps. *)
+
+val on_retire : t -> (pc:int -> cycles:int -> unit) -> unit
+(** Install a retirement callback (used by the profiler): called after
+    every completed instruction with its PC and cycle cost. *)

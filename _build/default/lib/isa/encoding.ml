@@ -1,0 +1,186 @@
+(* Field layout (MSB down):
+     opcode [31:27]  ext [26]  rd [25:21]  rs1 [20:16]  rs2 [15:11]
+     imm11  [10:0]  (signed)
+   With ext=1 the immediate lives in a second raw word instead. *)
+
+let op_alu = 0
+let op_alui = 1
+let op_li = 2
+let op_lw = 3
+let op_sw = 4
+let op_b = 5
+let op_j = 6
+let op_jal = 7
+let op_jr = 8
+let op_in = 9
+let op_out = 10
+let op_custom = 11
+let op_ei = 12
+let op_di = 13
+let op_rti = 14
+let op_nop = 15
+let op_halt = 16
+
+let aluop_code = function
+  | Isa.Add -> 0
+  | Isa.Sub -> 1
+  | Isa.Mul -> 2
+  | Isa.Div -> 3
+  | Isa.Rem -> 4
+  | Isa.And -> 5
+  | Isa.Or -> 6
+  | Isa.Xor -> 7
+  | Isa.Shl -> 8
+  | Isa.Shr -> 9
+  | Isa.Slt -> 10
+  | Isa.Seq -> 11
+
+let aluop_of_code = function
+  | 0 -> Isa.Add
+  | 1 -> Isa.Sub
+  | 2 -> Isa.Mul
+  | 3 -> Isa.Div
+  | 4 -> Isa.Rem
+  | 5 -> Isa.And
+  | 6 -> Isa.Or
+  | 7 -> Isa.Xor
+  | 8 -> Isa.Shl
+  | 9 -> Isa.Shr
+  | 10 -> Isa.Slt
+  | 11 -> Isa.Seq
+  | c -> invalid_arg (Printf.sprintf "Encoding: bad aluop code %d" c)
+
+let cond_code = function Isa.Eq -> 0 | Isa.Ne -> 1 | Isa.Lt -> 2 | Isa.Ge -> 3
+
+let cond_of_code = function
+  | 0 -> Isa.Eq
+  | 1 -> Isa.Ne
+  | 2 -> Isa.Lt
+  | 3 -> Isa.Ge
+  | c -> invalid_arg (Printf.sprintf "Encoding: bad condition code %d" c)
+
+let imm_fits i = i >= -1024 && i <= 1023
+
+(* fields: all as plain ints, assembled into an int32 *)
+let pack ~opcode ~ext ~rd ~rs1 ~rs2 ~imm11 =
+  let w =
+    (opcode lsl 27) lor (ext lsl 26) lor (rd lsl 21) lor (rs1 lsl 16)
+    lor (rs2 lsl 11)
+    lor (imm11 land 0x7FF)
+  in
+  Int32.of_int w
+
+let unpack w =
+  let w = Int32.to_int w land 0xFFFFFFFF in
+  let opcode = (w lsr 27) land 0x1F in
+  let ext = (w lsr 26) land 1 in
+  let rd = (w lsr 21) land 0x1F in
+  let rs1 = (w lsr 16) land 0x1F in
+  let rs2 = (w lsr 11) land 0x1F in
+  let imm11 =
+    let raw = w land 0x7FF in
+    if raw land 0x400 <> 0 then raw - 0x800 else raw
+  in
+  (opcode, ext, rd, rs1, rs2, imm11)
+
+(* Is the immediate of this instruction representable in 11 signed bits? *)
+let imm_of : int Isa.instr -> int option = function
+  | Isa.Alui (_, _, _, imm) -> Some imm
+  | Isa.Li (_, imm) -> Some imm
+  | Isa.Lw (_, _, off) | Isa.Sw (_, _, off) -> Some off
+  | Isa.B (_, _, _, t) | Isa.J t | Isa.Jal (_, t) -> Some t
+  | Isa.In (_, p) | Isa.Out (p, _) -> Some p
+  | Isa.Custom (e, _, _, _) -> Some e
+  | _ -> None
+
+let encoded_words (i : int Isa.instr) =
+  match imm_of i with Some imm when not (imm_fits imm) -> 2 | _ -> 1
+
+let encode (i : int Isa.instr) =
+  Isa.validate i;
+  let mk ?(rd = 0) ?(rs1 = 0) ?(rs2 = 0) ?(imm = 0) opcode =
+    if imm_fits imm then [ pack ~opcode ~ext:0 ~rd ~rs1 ~rs2 ~imm11:imm ]
+    else begin
+      (* extended pair: imm11 encodes the sign (0 = word2 as-is,
+         1 = word2 is -(imm)-1), giving a 33-bit signed range *)
+      if imm > 0xFFFFFFFF || imm < -0x100000000 then
+        invalid_arg
+          (Printf.sprintf "Encoding.encode: immediate %d out of range" imm);
+      let sign, mag = if imm >= 0 then (0, imm) else (1, -imm - 1) in
+      [
+        pack ~opcode ~ext:1 ~rd ~rs1 ~rs2 ~imm11:sign;
+        Int32.of_int (mag land 0xFFFFFFFF);
+      ]
+    end
+  in
+  match i with
+  | Isa.Alu (op, rd, rs1, rs2) ->
+      mk ~rd ~rs1 ~rs2 ~imm:(aluop_code op) op_alu
+  | Isa.Alui (op, rd, rs1, imm) ->
+      mk ~rd ~rs1 ~rs2:(aluop_code op) ~imm op_alui
+  | Isa.Li (rd, imm) -> mk ~rd ~imm op_li
+  | Isa.Lw (rd, rs1, off) -> mk ~rd ~rs1 ~imm:off op_lw
+  | Isa.Sw (rs2, rs1, off) -> mk ~rd:rs2 ~rs1 ~imm:off op_sw
+  | Isa.B (c, rs1, rs2, t) -> mk ~rd:(cond_code c) ~rs1 ~rs2 ~imm:t op_b
+  | Isa.J t -> mk ~imm:t op_j
+  | Isa.Jal (rd, t) -> mk ~rd ~imm:t op_jal
+  | Isa.Jr rs1 -> mk ~rs1 op_jr
+  | Isa.In (rd, port) -> mk ~rd ~imm:port op_in
+  | Isa.Out (port, rs) -> mk ~rs1:rs ~imm:port op_out
+  | Isa.Custom (e, rd, rs1, rs2) -> mk ~rd ~rs1 ~rs2 ~imm:e op_custom
+  | Isa.Ei -> mk op_ei
+  | Isa.Di -> mk op_di
+  | Isa.Rti -> mk op_rti
+  | Isa.Nop -> mk op_nop
+  | Isa.Halt -> mk op_halt
+
+let decode stream =
+  match stream with
+  | [] -> invalid_arg "Encoding.decode: empty stream"
+  | w :: rest ->
+      let opcode, ext, rd, rs1, rs2, imm11 = unpack w in
+      let imm, rest =
+        if ext = 1 then
+          match rest with
+          | w2 :: rest' ->
+              let mag = Int32.to_int w2 land 0xFFFFFFFF in
+              ((if imm11 = 0 then mag else -mag - 1), rest')
+          | [] -> invalid_arg "Encoding.decode: truncated extended pair"
+        else (imm11, rest)
+      in
+      let i : int Isa.instr =
+        if opcode = op_alu then Isa.Alu (aluop_of_code imm, rd, rs1, rs2)
+        else if opcode = op_alui then Isa.Alui (aluop_of_code rs2, rd, rs1, imm)
+        else if opcode = op_li then Isa.Li (rd, imm)
+        else if opcode = op_lw then Isa.Lw (rd, rs1, imm)
+        else if opcode = op_sw then Isa.Sw (rd, rs1, imm)
+        else if opcode = op_b then Isa.B (cond_of_code rd, rs1, rs2, imm)
+        else if opcode = op_j then Isa.J imm
+        else if opcode = op_jal then Isa.Jal (rd, imm)
+        else if opcode = op_jr then Isa.Jr rs1
+        else if opcode = op_in then Isa.In (rd, imm)
+        else if opcode = op_out then Isa.Out (imm, rs1)
+        else if opcode = op_custom then Isa.Custom (imm, rd, rs1, rs2)
+        else if opcode = op_ei then Isa.Ei
+        else if opcode = op_di then Isa.Di
+        else if opcode = op_rti then Isa.Rti
+        else if opcode = op_nop then Isa.Nop
+        else if opcode = op_halt then Isa.Halt
+        else invalid_arg (Printf.sprintf "Encoding.decode: opcode %d" opcode)
+      in
+      (i, rest)
+
+let encode_program p =
+  Array.of_list (List.concat_map encode (Array.to_list p))
+
+let decode_program words =
+  let rec go acc = function
+    | [] -> List.rev acc
+    | stream ->
+        let i, rest = decode stream in
+        go (i :: acc) rest
+  in
+  Array.of_list (go [] (Array.to_list words))
+
+let program_bytes p =
+  4 * Array.fold_left (fun acc i -> acc + encoded_words i) 0 p

@@ -1,0 +1,42 @@
+(** Binary encoding of the instruction set.
+
+    A fixed 32-bit format (fields from the MSB down):
+
+    {v
+    [31:27] opcode   (5 bits)
+    [26]    ext      (immediate continues in the next word)
+    [25:21] rd       (also rs2 for stores, cond for branches)
+    [20:16] rs1
+    [15:11] rs2      (also the ALU-op selector for Alui)
+    [10:0]  imm11    (signed short immediate / ALU funct / ext opcode)
+    v}
+
+    Instructions whose immediate does not fit the 11-bit signed field —
+    large [Li] constants, absolute offsets, branch targets — are encoded
+    as a two-word pair: the first word carries the opcode, registers and
+    the immediate's sign with the [ext] flag (bit 26) set; the second
+    word is the 32-bit magnitude, giving a 33-bit signed immediate
+    range.  {!encode}/{!decode} are exact inverses on every valid
+    instruction, which the test suite checks by property.
+
+    The encoder exists for realism of code-size accounting
+    ({!encoded_words}) and for the examples that dump memory images;
+    the ISS executes the structured form directly. *)
+
+val encode : int Isa.instr -> int32 list
+(** One or two words.  @raise Invalid_argument on a register out of
+    range (via {!Isa.validate}). *)
+
+val decode : int32 list -> int Isa.instr * int32 list
+(** Decodes one instruction from the stream, returning the remainder.
+    @raise Invalid_argument on an unknown opcode or truncated pair. *)
+
+val encode_program : Isa.program -> int32 array
+val decode_program : int32 array -> Isa.program
+
+val encoded_words : int Isa.instr -> int
+(** 1 or 2 — without building the encoding. *)
+
+val program_bytes : Isa.program -> int
+(** Exact encoded size in bytes (4 per word); refines the fixed
+    {!Isa.code_bytes} approximation. *)

@@ -1,0 +1,55 @@
+type t = {
+  counts : int array;
+  image : Asm.image;
+  mutable total : int;
+}
+
+let attach cpu image =
+  let t =
+    {
+      counts = Array.make (Array.length image.Asm.code) 0;
+      image;
+      total = 0;
+    }
+  in
+  Cpu.on_retire cpu (fun ~pc ~cycles ->
+      if pc >= 0 && pc < Array.length t.counts then begin
+        t.counts.(pc) <- t.counts.(pc) + cycles;
+        t.total <- t.total + cycles
+      end);
+  t
+
+let total_cycles t = t.total
+let cycles_at t i = t.counts.(i)
+
+let by_label t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        let label =
+          match Asm.label_of t.image i with
+          | Some l -> l
+          | None -> "<entry>"
+        in
+        let cur = try Hashtbl.find tbl label with Not_found -> 0 in
+        Hashtbl.replace tbl label (cur + c)
+      end)
+    t.counts;
+  Hashtbl.fold (fun l c acc -> (l, c) :: acc) tbl []
+  |> List.sort (fun (la, a) (lb, b) ->
+         if a <> b then compare b a else compare la lb)
+
+let hot_regions ?(top = 5) t =
+  let total = float_of_int (max t.total 1) in
+  by_label t
+  |> List.filteri (fun i _ -> i < top)
+  |> List.map (fun (l, c) -> (l, c, float_of_int c /. total))
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>profile: %d cycles total@," t.total;
+  List.iter
+    (fun (l, c, f) ->
+      Format.fprintf fmt "  %-20s %10d cycles  %5.1f%%@," l c (100. *. f))
+    (hot_regions ~top:10 t);
+  Format.fprintf fmt "@]"

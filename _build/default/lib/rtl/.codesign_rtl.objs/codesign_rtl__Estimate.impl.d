@@ -1,0 +1,1 @@
+lib/rtl/estimate.ml: Codesign_ir Hashtbl List Printf

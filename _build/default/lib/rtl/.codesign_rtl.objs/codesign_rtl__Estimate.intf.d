@@ -1,0 +1,1 @@
+lib/rtl/estimate.mli: Codesign_ir

@@ -1,0 +1,1 @@
+lib/rtl/fsmd.ml: Codesign_ir Estimate Format Hashtbl List Option

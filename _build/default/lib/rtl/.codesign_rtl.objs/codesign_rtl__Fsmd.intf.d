@@ -1,0 +1,1 @@
+lib/rtl/fsmd.mli: Codesign_ir Format

@@ -1,0 +1,1 @@
+lib/rtl/hdl_out.ml: Buffer Codesign_ir Fsmd List Netlist Printf String

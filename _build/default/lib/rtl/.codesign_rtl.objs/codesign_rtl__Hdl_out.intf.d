@@ -1,0 +1,1 @@
+lib/rtl/hdl_out.mli: Fsmd Netlist

@@ -1,0 +1,1 @@
+lib/rtl/logic_sim.ml: Array Codesign_ir Hashtbl List Netlist

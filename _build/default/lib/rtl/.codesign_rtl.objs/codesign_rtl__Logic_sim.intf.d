@@ -1,0 +1,1 @@
+lib/rtl/logic_sim.mli: Netlist

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Codesign_ir Format Hashtbl List Printf

@@ -1,0 +1,13 @@
+(** Verilog-flavoured pretty-printing of hardware structures.
+
+    The framework builds no external toolchain; these renderings exist so
+    a designer can inspect what interface synthesis and HLS produced, and
+    so examples can show concrete artifacts.  The output is syntactically
+    Verilog-like but is not claimed to be tool-clean. *)
+
+val netlist : Netlist.t -> string
+(** Structural gate-level module. *)
+
+val fsmd : Fsmd.t -> string
+(** Two-process (state register + next-state/datapath) behavioural
+    module. *)

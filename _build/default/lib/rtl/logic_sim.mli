@@ -1,0 +1,40 @@
+(** Two-phase (levelized) logic simulation of {!Netlist} circuits.
+
+    A simulator instance owns the net value state.  Combinational
+    evaluation propagates input values through the gates in topological
+    order; {!clock_cycle} additionally latches every DFF, implementing
+    standard synchronous semantics (all flops update simultaneously from
+    their pre-clock D values). *)
+
+type t
+
+val create : Netlist.t -> t
+(** @raise Invalid_argument if the combinational part is cyclic. *)
+
+val set_input : t -> string -> int -> unit
+(** Values are truthy: any nonzero is 1.  @raise Not_found on unknown
+    input name. *)
+
+val eval : t -> unit
+(** Propagate combinational logic from current inputs and flop states. *)
+
+val output : t -> string -> int
+(** Read a primary output (after {!eval}).  @raise Not_found on unknown
+    name. *)
+
+val net : t -> int -> int
+(** Read any net by id. *)
+
+val clock_cycle : t -> unit
+(** One synchronous cycle: evaluate, then latch all DFFs from their D
+    inputs, then evaluate again so outputs reflect the new state. *)
+
+val cycles_run : t -> int
+
+val reset : t -> unit
+(** Clear all net values and flop states to 0 (constant-1 net stays 1). *)
+
+val run_vectors : t -> inputs:string list -> int list list -> (string * int list) list
+(** Convenience for tests: apply each input vector (values parallel to
+    [inputs]), run {!clock_cycle}, and collect each primary output's
+    waveform. *)

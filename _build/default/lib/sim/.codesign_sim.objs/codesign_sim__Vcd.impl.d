@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Buffer Bytes Char Kernel List Printf Signal String

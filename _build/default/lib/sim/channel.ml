@@ -1,0 +1,101 @@
+type stats = { sends : int; send_blocks : int; recv_blocks : int }
+
+type 'a t = {
+  kernel : Kernel.t;
+  name : string;
+  cap : int;
+  buffer : 'a Queue.t;
+  waiting_senders : ('a * (unit -> unit)) Queue.t;
+  waiting_receivers : ('a option ref * (unit -> unit)) Queue.t;
+  mutable sends : int;
+  mutable send_blocks : int;
+  mutable recv_blocks : int;
+}
+
+let create ?(depth = 0) ?(name = "chan") kernel () =
+  if depth < 0 then invalid_arg "Channel.create: negative depth";
+  {
+    kernel;
+    name;
+    cap = depth;
+    buffer = Queue.create ();
+    waiting_senders = Queue.create ();
+    waiting_receivers = Queue.create ();
+    sends = 0;
+    send_blocks = 0;
+    recv_blocks = 0;
+  }
+
+let name c = c.name
+let depth c = c.cap
+let occupancy c = Queue.length c.buffer
+
+let stats c =
+  { sends = c.sends; send_blocks = c.send_blocks; recv_blocks = c.recv_blocks }
+
+(* After removing from the buffer, a blocked sender (if any) can deposit
+   its value. *)
+let refill c =
+  if
+    (not (Queue.is_empty c.waiting_senders))
+    && Queue.length c.buffer < c.cap
+  then begin
+    let v, resume = Queue.pop c.waiting_senders in
+    Queue.push v c.buffer;
+    resume ()
+  end
+
+let try_send c v =
+  if not (Queue.is_empty c.waiting_receivers) then begin
+    (* Direct hand-off: buffer is necessarily empty when receivers wait. *)
+    let cell, resume = Queue.pop c.waiting_receivers in
+    cell := Some v;
+    c.sends <- c.sends + 1;
+    resume ();
+    true
+  end
+  else if Queue.length c.buffer < c.cap then begin
+    Queue.push v c.buffer;
+    c.sends <- c.sends + 1;
+    true
+  end
+  else false
+
+let send c v =
+  if not (try_send c v) then begin
+    c.send_blocks <- c.send_blocks + 1;
+    Kernel.suspend ~register:(fun resume ->
+        Queue.push (v, resume) c.waiting_senders);
+    c.sends <- c.sends + 1
+  end
+
+let try_recv c =
+  if not (Queue.is_empty c.buffer) then begin
+    let v = Queue.pop c.buffer in
+    refill c;
+    Some v
+  end
+  else if c.cap = 0 && not (Queue.is_empty c.waiting_senders) then begin
+    (* rendezvous hand-off from a blocked sender *)
+    let v, resume = Queue.pop c.waiting_senders in
+    resume ();
+    Some v
+  end
+  else None
+
+let recv c =
+  match try_recv c with
+  | Some v -> v
+  | None ->
+      c.recv_blocks <- c.recv_blocks + 1;
+      let cell = ref None in
+      Kernel.suspend ~register:(fun resume ->
+          Queue.push (cell, resume) c.waiting_receivers);
+      (match !cell with
+      | Some v -> v
+      | None ->
+          (* Resumed without a direct hand-off: a sender refilled the
+             buffer while we were queued. *)
+          (match try_recv c with
+          | Some v -> v
+          | None -> assert false))

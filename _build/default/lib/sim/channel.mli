@@ -1,0 +1,44 @@
+(** Blocking point-to-point channels: the [send]/[receive]/[wait]
+    abstraction level of the paper's Fig. 3 (ref [3]).
+
+    A channel with [depth = 0] is a rendezvous: [send] blocks until a
+    receiver arrives (and vice versa).  With [depth > 0] it is a bounded
+    FIFO: [send] blocks only when full, [recv] only when empty.  All
+    queuing is strictly FIFO, so communication schedules are
+    deterministic.
+
+    Per-channel traffic counters feed the co-simulation experiments
+    (message counts are the "event" currency at this abstraction
+    level). *)
+
+type 'a t
+
+type stats = {
+  sends : int;  (** completed message transfers *)
+  send_blocks : int;  (** times a sender had to block *)
+  recv_blocks : int;  (** times a receiver had to block *)
+}
+
+val create : ?depth:int -> ?name:string -> Kernel.t -> unit -> 'a t
+(** [depth] defaults to 0 (rendezvous).  @raise Invalid_argument on
+    negative depth. *)
+
+val name : 'a t -> string
+val depth : 'a t -> int
+val stats : 'a t -> stats
+
+val send : 'a t -> 'a -> unit
+(** Blocking send; must run inside a kernel process when it blocks. *)
+
+val recv : 'a t -> 'a
+(** Blocking receive. *)
+
+val try_send : 'a t -> 'a -> bool
+(** Non-blocking send: true on success (room in buffer or a waiting
+    receiver). *)
+
+val try_recv : 'a t -> 'a option
+(** Non-blocking receive. *)
+
+val occupancy : 'a t -> int
+(** Messages currently buffered. *)

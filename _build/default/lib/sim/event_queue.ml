@@ -1,0 +1,65 @@
+type entry = { time : int; seq : int; thunk : unit -> unit }
+
+type t = {
+  mutable heap : entry array;
+  mutable len : int;
+  mutable next_seq : int;
+  mutable pushed : int;
+}
+
+let dummy = { time = 0; seq = 0; thunk = ignore }
+
+let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; pushed = 0 }
+
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let push t ~time thunk =
+  if time < 0 then invalid_arg "Event_queue.push: negative time";
+  if t.len = Array.length t.heap then begin
+    let h = Array.make (2 * t.len) dummy in
+    Array.blit t.heap 0 h 0 t.len;
+    t.heap <- h
+  end;
+  let e = { time; seq = t.next_seq; thunk } in
+  t.next_seq <- t.next_seq + 1;
+  t.pushed <- t.pushed + 1;
+  t.heap.(t.len) <- e;
+  t.len <- t.len + 1;
+  let i = ref (t.len - 1) in
+  while !i > 0 && before t.heap.(!i) t.heap.((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.len <- t.len - 1;
+    t.heap.(0) <- t.heap.(t.len);
+    t.heap.(t.len) <- dummy;
+    let i = ref 0 in
+    let continue_ = ref true in
+    while !continue_ do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let m = ref !i in
+      if l < t.len && before t.heap.(l) t.heap.(!m) then m := l;
+      if r < t.len && before t.heap.(r) t.heap.(!m) then m := r;
+      if !m = !i then continue_ := false
+      else begin
+        swap t !i !m;
+        i := !m
+      end
+    done;
+    Some (top.time, top.thunk)
+  end
+
+let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let size t = t.len
+let is_empty t = t.len = 0
+let pushed_total t = t.pushed

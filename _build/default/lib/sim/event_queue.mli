@@ -1,0 +1,27 @@
+(** A deterministic time-ordered event queue.
+
+    Events are thunks keyed by (timestamp, insertion sequence): the queue
+    is a stable priority queue, so events at equal timestamps fire in
+    insertion order.  This stability is what makes the whole simulation
+    framework reproducible run-to-run. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> time:int -> (unit -> unit) -> unit
+(** Schedule a thunk.  @raise Invalid_argument on negative time. *)
+
+val pop : t -> (int * (unit -> unit)) option
+(** Remove and return the earliest event (ties broken by insertion
+    order), or [None] when empty. *)
+
+val peek_time : t -> int option
+(** Timestamp of the earliest event without removing it. *)
+
+val size : t -> int
+
+val is_empty : t -> bool
+
+val pushed_total : t -> int
+(** Number of pushes over the queue's lifetime (an event-count metric). *)

@@ -1,0 +1,155 @@
+open Effect
+open Effect.Deep
+
+exception Not_in_process
+exception Deadlock of string
+
+type stats = {
+  events : int;
+  scheduled : int;
+  activations : int;
+  spawned : int;
+  end_time : int;
+}
+
+type t = {
+  q : Event_queue.t;
+  mutable now : int;
+  mutable events : int;
+  mutable activations : int;
+  mutable spawned : int;
+  mutable next_block_id : int;
+  blocked : (int, string) Hashtbl.t;
+  mutable tracer : (int -> string -> unit) option;
+}
+
+type _ Effect.t +=
+  | Wait : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Suspend : ((unit -> unit) -> unit) -> unit Effect.t
+  | Whoami : string Effect.t
+
+let create () =
+  {
+    q = Event_queue.create ();
+    now = 0;
+    events = 0;
+    activations = 0;
+    spawned = 0;
+    next_block_id = 0;
+    blocked = Hashtbl.create 16;
+    tracer = None;
+  }
+
+let now k = k.now
+
+let at k ~time thunk =
+  if time < k.now then
+    invalid_arg
+      (Printf.sprintf "Kernel.at: time %d is in the past (now %d)" time k.now);
+  Event_queue.push k.q ~time thunk
+
+let spawn ?(name = "proc") k fn =
+  k.spawned <- k.spawned + 1;
+  let handler : (unit, unit) handler =
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Wait n ->
+              Some
+                (fun (cont : (a, unit) continuation) ->
+                  if n < 0 then
+                    discontinue cont
+                      (Invalid_argument "Kernel.wait: negative delay")
+                  else
+                    at k ~time:(k.now + n) (fun () ->
+                        k.activations <- k.activations + 1;
+                        continue cont ()))
+          | Yield ->
+              Some
+                (fun (cont : (a, unit) continuation) ->
+                  at k ~time:k.now (fun () ->
+                      k.activations <- k.activations + 1;
+                      continue cont ()))
+          | Suspend register ->
+              Some
+                (fun (cont : (a, unit) continuation) ->
+                  let id = k.next_block_id in
+                  k.next_block_id <- id + 1;
+                  Hashtbl.replace k.blocked id name;
+                  let resumed = ref false in
+                  register (fun () ->
+                      if !resumed then
+                        invalid_arg
+                          ("Kernel: process " ^ name ^ " resumed twice");
+                      resumed := true;
+                      Hashtbl.remove k.blocked id;
+                      at k ~time:k.now (fun () ->
+                          k.activations <- k.activations + 1;
+                          continue cont ())))
+          | Whoami ->
+              Some (fun (cont : (a, unit) continuation) -> continue cont name)
+          | _ -> None);
+    }
+  in
+  at k ~time:k.now (fun () ->
+      k.activations <- k.activations + 1;
+      match_with fn () handler)
+
+let in_process f = try f () with Effect.Unhandled _ -> raise Not_in_process
+
+let wait n = in_process (fun () -> perform (Wait n))
+let yield () = in_process (fun () -> perform Yield)
+let suspend ~register = in_process (fun () -> perform (Suspend register))
+let self_name () = try perform Whoami with Effect.Unhandled _ -> "?"
+
+let stats k =
+  {
+    events = k.events;
+    scheduled = Event_queue.pushed_total k.q;
+    activations = k.activations;
+    spawned = k.spawned;
+    end_time = k.now;
+  }
+
+let run ?until ?(expect_quiescent = false) k =
+  let stop = ref false in
+  while not !stop do
+    match Event_queue.peek_time k.q with
+    | None -> stop := true
+    | Some t when (match until with Some u -> t > u | None -> false) ->
+        stop := true
+    | Some _ ->
+        let time, thunk =
+          match Event_queue.pop k.q with
+          | Some e -> e
+          | None -> assert false
+        in
+        k.now <- time;
+        k.events <- k.events + 1;
+        thunk ()
+  done;
+  (match until with Some u when u > k.now && Event_queue.is_empty k.q ->
+      k.now <- u
+   | _ -> ());
+  if
+    Event_queue.is_empty k.q
+    && Hashtbl.length k.blocked > 0
+    && (not expect_quiescent)
+    && until = None
+  then begin
+    let names =
+      Hashtbl.fold (fun _ n acc -> n :: acc) k.blocked []
+      |> List.sort_uniq compare |> String.concat ", "
+    in
+    raise (Deadlock names)
+  end;
+  stats k
+
+let trace k sink = k.tracer <- Some sink
+
+let emit k msg =
+  match k.tracer with None -> () | Some sink -> sink k.now msg

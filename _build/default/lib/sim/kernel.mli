@@ -1,0 +1,86 @@
+(** The discrete-event co-simulation kernel.
+
+    Processes are cooperative coroutines implemented with OCaml 5 effect
+    handlers: a process is an ordinary function that calls the blocking
+    primitives {!wait} / {!suspend} / {!yield}; the kernel captures the
+    continuation and resumes it when simulated time or a wake-up
+    condition arrives.  This mirrors the structure of an HDL simulator's
+    process model while letting hardware models, instruction-set
+    simulators and abstract software processes coexist on one event
+    wheel — the co-simulation backplane of the paper's §3.1.
+
+    Determinism: events at the same timestamp fire in schedule order, and
+    nothing reads wall-clock time, so simulations are bit-reproducible.
+
+    The blocking primitives must only be called from within a process
+    body spawned on some kernel; calling them elsewhere raises
+    [Not_in_process]. *)
+
+type t
+
+exception Not_in_process
+(** Raised when {!wait} etc. are performed outside a kernel process. *)
+
+exception Deadlock of string
+(** Raised by {!run} when [expect_quiescent] is false and every process
+    is blocked with no pending events (the string lists blocked process
+    names). *)
+
+type stats = {
+  events : int;  (** events dispatched by the wheel *)
+  scheduled : int;  (** events pushed over the kernel lifetime *)
+  activations : int;  (** process resumptions (incl. first runs) *)
+  spawned : int;  (** processes created *)
+  end_time : int;  (** simulation time when {!run} returned *)
+}
+
+val create : unit -> t
+
+val now : t -> int
+(** Current simulation time. *)
+
+val spawn : ?name:string -> t -> (unit -> unit) -> unit
+(** Register a process; it first runs when {!run} reaches the current
+    time.  A process function returning normally terminates the
+    process. *)
+
+val at : t -> time:int -> (unit -> unit) -> unit
+(** Schedule a bare callback (not a process: it must not block) at an
+    absolute time >= now. *)
+
+val run : ?until:int -> ?expect_quiescent:bool -> t -> stats
+(** Dispatch events until the queue is empty or simulated time would
+    exceed [until].  If processes remain blocked at quiescence and
+    [expect_quiescent] is [false] (the default) and no [until] was given,
+    raises {!Deadlock}; with [expect_quiescent:true] (or an [until]
+    bound) blocked processes are abandoned silently.  Returns run
+    statistics.  [run] may be called again after adding more work. *)
+
+val stats : t -> stats
+(** Statistics so far (also valid mid-run, from within a process). *)
+
+(** {2 Blocking primitives (call only inside a process)} *)
+
+val wait : int -> unit
+(** Advance this process's time by a non-negative delta. *)
+
+val yield : unit -> unit
+(** Reschedule after events already pending at the current time — a
+    delta-cycle boundary. *)
+
+val suspend : register:((unit -> unit) -> unit) -> unit
+(** The general blocking primitive: captures the continuation and passes
+    a [resume] thunk to [register]; calling [resume] (exactly once, at
+    any later point) reschedules the process at the then-current time.
+    {!Signal} and {!Channel} are built on this. *)
+
+val self_name : unit -> string
+(** Name of the currently running process ("?" for callbacks). *)
+
+(** {2 Tracing} *)
+
+val trace : t -> (int -> string -> unit) -> unit
+(** Install a trace sink receiving (time, message). *)
+
+val emit : t -> string -> unit
+(** Emit a trace message at the current time (no-op without a sink). *)

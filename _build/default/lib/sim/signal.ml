@@ -1,0 +1,45 @@
+type 'a t = {
+  kernel : Kernel.t;
+  name : string;
+  mutable value : 'a;
+  mutable waiters : (unit -> unit) list;  (** in reverse arrival order *)
+  mutable writes : int;
+}
+
+let create ?(name = "sig") kernel value =
+  { kernel; name; value; waiters = []; writes = 0 }
+
+let read s = s.value
+let name s = s.name
+let write_count s = s.writes
+
+let wake s =
+  s.writes <- s.writes + 1;
+  let ws = List.rev s.waiters in
+  s.waiters <- [];
+  List.iter (fun resume -> resume ()) ws
+
+let write s v =
+  if s.value <> v then begin
+    s.value <- v;
+    wake s
+  end
+
+let pulse s v =
+  s.value <- v;
+  wake s
+
+let await_change s =
+  Kernel.suspend ~register:(fun resume -> s.waiters <- resume :: s.waiters);
+  s.value
+
+let rec await s pred =
+  if pred s.value then s.value
+  else begin
+    ignore (await_change s);
+    await s pred
+  end
+
+let rec posedge s =
+  ignore (await_change s);
+  if s.value = 0 then posedge s

@@ -1,0 +1,41 @@
+(** Broadcast signals (wires) over the simulation kernel.
+
+    A signal holds a value; writers update it instantaneously and wake
+    every process blocked on it.  Waking happens through the kernel's
+    event wheel at the current timestamp, so readers observe the value in
+    the delta cycle after the write — the usual HDL signal discipline.
+
+    Used for pin-level bus modelling (request/grant/ready wires,
+    interrupt lines) and for clock generation in RTL co-simulation. *)
+
+type 'a t
+
+val create : ?name:string -> Kernel.t -> 'a -> 'a t
+(** [create k init] makes a signal with initial value [init]. *)
+
+val read : 'a t -> 'a
+
+val write : 'a t -> 'a -> unit
+(** Set the value; wakes waiters only if the value changed
+    (structural equality). *)
+
+val pulse : 'a t -> 'a -> unit
+(** Set the value and wake waiters even if it is unchanged — models a
+    momentary strobe. *)
+
+val name : 'a t -> string
+
+val write_count : 'a t -> int
+(** Number of waking writes so far (a signal-activity metric). *)
+
+val await_change : 'a t -> 'a
+(** Block until the next (value-changing or pulsed) write; returns the
+    new value.  Must run inside a kernel process. *)
+
+val await : 'a t -> ('a -> bool) -> 'a
+(** Block until the predicate holds (returns immediately if it already
+    does). *)
+
+val posedge : int t -> unit
+(** Block until a waking write leaves the value nonzero, skipping writes
+    that leave it zero — a rising-edge wait for clock-like signals. *)

@@ -1,0 +1,85 @@
+type watched = { wname : string; width : int; code : string }
+
+type t = {
+  kernel : Kernel.t;
+  timescale : string;
+  mutable watchlist : watched list;  (** reversed *)
+  mutable records : (int * string * int) list;  (** reversed: time, code, v *)
+  mutable next_code : int;
+}
+
+let create ?(timescale = "1ns") kernel =
+  { kernel; timescale; watchlist = []; records = []; next_code = 0 }
+
+(* VCD identifier codes: printable ASCII starting at '!' *)
+let code_of_int n =
+  let base = 94 and first = 33 in
+  let rec go n acc =
+    let c = Char.chr (first + (n mod base)) in
+    let acc = String.make 1 c ^ acc in
+    if n < base then acc else go ((n / base) - 1) acc
+  in
+  go n ""
+
+let watch t ?(width = 32) (s : int Signal.t) =
+  let code = code_of_int t.next_code in
+  t.next_code <- t.next_code + 1;
+  t.watchlist <- { wname = Signal.name s; width; code } :: t.watchlist;
+  (* initial value at watch time *)
+  t.records <- (Kernel.now t.kernel, code, Signal.read s) :: t.records;
+  Kernel.spawn ~name:("vcd:" ^ Signal.name s) t.kernel (fun () ->
+      let rec follow () =
+        let v = Signal.await_change s in
+        t.records <- (Kernel.now t.kernel, code, v) :: t.records;
+        follow ()
+      in
+      follow ())
+
+let changes t =
+  let by_code =
+    List.map (fun w -> (w.code, w.wname)) t.watchlist
+  in
+  List.rev_map
+    (fun (time, code, v) -> (time, List.assoc code by_code, v))
+    t.records
+
+let binary_of ~width v =
+  let buf = Bytes.make width '0' in
+  for i = 0 to width - 1 do
+    if (v lsr i) land 1 = 1 then Bytes.set buf (width - 1 - i) '1'
+  done;
+  Bytes.to_string buf
+
+let dump t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "$timescale %s $end\n$scope module codesign $end\n"
+       t.timescale);
+  let watches = List.rev t.watchlist in
+  List.iter
+    (fun w ->
+      Buffer.add_string buf
+        (Printf.sprintf "$var wire %d %s %s $end\n" w.width w.code w.wname))
+    watches;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* group records by time, in order *)
+  let records = List.rev t.records in
+  let width_of code =
+    (List.find (fun w -> w.code = code) watches).width
+  in
+  let current_time = ref (-1) in
+  List.iter
+    (fun (time, code, v) ->
+      if time <> !current_time then begin
+        Buffer.add_string buf (Printf.sprintf "#%d\n" time);
+        current_time := time
+      end;
+      let w = width_of code in
+      if w = 1 then
+        Buffer.add_string buf
+          (Printf.sprintf "%d%s\n" (if v <> 0 then 1 else 0) code)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "b%s %s\n" (binary_of ~width:w v) code))
+    records;
+  Buffer.contents buf

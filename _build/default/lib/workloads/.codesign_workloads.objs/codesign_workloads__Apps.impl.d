@@ -1,0 +1,1 @@
+lib/workloads/apps.ml: Codesign_ir List Printf

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Array Codesign_ir Float List Printf

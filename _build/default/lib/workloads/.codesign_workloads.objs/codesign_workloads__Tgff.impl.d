@@ -1,0 +1,1 @@
+lib/workloads/tgff.ml: Array Codesign_ir Codesign_rtl Fun List Printf

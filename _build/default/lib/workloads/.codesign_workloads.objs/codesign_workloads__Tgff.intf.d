@@ -1,0 +1,1 @@
+lib/workloads/tgff.mli: Codesign_ir

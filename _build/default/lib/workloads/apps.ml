@@ -1,0 +1,189 @@
+module B = Codesign_ir.Behavior
+module Pn = Codesign_ir.Process_network
+
+let i k = B.Int k
+let v x = B.Var x
+let ( +: ) a b = B.Bin (B.Add, a, b)
+let ( *: ) a b = B.Bin (B.Mul, a, b)
+let ( >>: ) a b = B.Bin (B.Shr, a, b)
+let ( %: ) a b = B.Bin (B.Rem, a, b)
+let ( -: ) a b = B.Bin (B.Sub, a, b)
+
+let sample_expr idx = ((idx *: i 7) %: i 23) -: i 5
+
+let producer ?(name = "producer") ~chan ~count () =
+  {
+    B.name;
+    params = [];
+    arrays = [];
+    results = [];
+    body =
+      [ B.For ("p", i 0, i count, [ B.Send (chan, sample_expr (v "p")) ]) ];
+  }
+
+(* one MAC-ish round: acc = (acc * 3 + x) >> 1, iterated [work] times *)
+let transform ?(name = "transform") ~in_chan ~out_chan ~count ?(work = 8) ()
+    =
+  {
+    B.name;
+    params = [];
+    arrays = [];
+    results = [];
+    body =
+      [
+        B.For
+          ( "p",
+            i 0,
+            i count,
+            [
+              B.Recv ("x", in_chan);
+              B.Assign ("acc", v "x");
+              B.For
+                ( "w",
+                  i 0,
+                  i work,
+                  [ B.Assign ("acc", ((v "acc" *: i 3) +: v "x") >>: i 1) ]
+                );
+              B.Send (out_chan, v "acc");
+            ] );
+      ];
+  }
+
+let consumer ?(name = "consumer") ~chan ~count ~port () =
+  {
+    B.name;
+    params = [];
+    arrays = [];
+    results = [ "acc" ];
+    body =
+      [
+        B.Assign ("acc", i 0);
+        B.For
+          ( "p",
+            i 0,
+            i count,
+            [ B.Recv ("x", chan); B.Assign ("acc", v "acc" +: v "x") ] );
+        B.PortOut (port, v "acc");
+      ];
+  }
+
+let pipeline ?(stages = 2) ?(count = 16) ?(work = 8) ?(depth = 2) () =
+  if stages < 1 then invalid_arg "Apps.pipeline: stages < 1";
+  let chan k = Printf.sprintf "c%d" k in
+  let procs =
+    (producer ~chan:(chan 0) ~count (), Pn.Sw)
+    :: List.init stages (fun s ->
+           ( transform
+               ~name:(Printf.sprintf "stage%d" s)
+               ~in_chan:(chan s)
+               ~out_chan:(chan (s + 1))
+               ~count ~work (),
+             Pn.Sw ))
+    @ [ (consumer ~chan:(chan stages) ~count ~port:1 (), Pn.Sw) ]
+  in
+  let channels =
+    List.init (stages + 1) (fun k ->
+        {
+          Pn.cname = chan k;
+          src = (if k = 0 then "producer" else Printf.sprintf "stage%d" (k - 1));
+          dst =
+            (if k = stages then "consumer" else Printf.sprintf "stage%d" k);
+          depth;
+        })
+  in
+  Pn.make ~name:"pipeline" procs channels
+
+let fork_join ?(workers = 3) ?(items = 12) ?(work = 16) () =
+  if workers < 1 then invalid_arg "Apps.fork_join: workers < 1";
+  let per_worker = items / workers in
+  if per_worker * workers <> items then
+    invalid_arg "Apps.fork_join: items must divide evenly among workers";
+  let in_chan w = Printf.sprintf "w%d_in" w in
+  let out_chan w = Printf.sprintf "w%d_out" w in
+  (* splitter: round-robin distribution *)
+  let splitter =
+    {
+      B.name = "splitter";
+      params = [];
+      arrays = [];
+      results = [];
+      body =
+        [
+          B.For
+            ( "r",
+              i 0,
+              i per_worker,
+              List.init workers (fun w ->
+                  B.Send
+                    ( in_chan w,
+                      sample_expr ((v "r" *: i workers) +: i w) )) );
+        ];
+    }
+  in
+  let worker w =
+    transform
+      ~name:(Printf.sprintf "worker%d" w)
+      ~in_chan:(in_chan w) ~out_chan:(out_chan w) ~count:per_worker ~work ()
+  in
+  let joiner =
+    {
+      B.name = "joiner";
+      params = [];
+      arrays = [];
+      results = [ "acc" ];
+      body =
+        [
+          B.Assign ("acc", i 0);
+          B.For
+            ( "r",
+              i 0,
+              i per_worker,
+              List.concat
+                (List.init workers (fun w ->
+                     [
+                       B.Recv ("x", out_chan w);
+                       B.Assign ("acc", v "acc" +: v "x");
+                     ])) );
+          B.PortOut (1, v "acc");
+        ];
+    }
+  in
+  let procs =
+    (splitter, Pn.Sw)
+    :: List.init workers (fun w -> (worker w, Pn.Hw))
+    @ [ (joiner, Pn.Sw) ]
+  in
+  let channels =
+    List.concat
+      (List.init workers (fun w ->
+           [
+             {
+               Pn.cname = in_chan w;
+               src = "splitter";
+               dst = Printf.sprintf "worker%d" w;
+               depth = 2;
+             };
+             {
+               Pn.cname = out_chan w;
+               src = Printf.sprintf "worker%d" w;
+               dst = "joiner";
+               depth = 2;
+             };
+           ]))
+  in
+  Pn.make ~name:"fork_join" procs channels
+
+let expected_pipeline_output ~count ~work ~stages =
+  let transform_item x =
+    let acc = ref x in
+    for _ = 1 to work do
+      acc := ((!acc * 3) + x) asr 1
+    done;
+    !acc
+  in
+  let rec through n x = if n = 0 then x else through (n - 1) (transform_item x) in
+  let total = ref 0 in
+  for p = 0 to count - 1 do
+    total := !total + through stages ((p * 7 mod 23) - 5)
+  done;
+  !total

@@ -1,0 +1,51 @@
+(** Full applications assembled from behaviours and channels — the
+    system-level workloads of the co-simulation and multi-threaded
+    co-processor experiments.
+
+    All processes are pure {!Codesign_ir.Behavior} values; mapping (SW
+    vs HW) is chosen by the caller and can be changed with
+    {!Codesign_ir.Process_network.remap}. *)
+
+val producer : ?name:string -> chan:string -> count:int -> unit -> Codesign_ir.Behavior.proc
+(** Sends [count] deterministic samples ([(7i mod 23) - 5]) on [chan]. *)
+
+val transform :
+  ?name:string ->
+  in_chan:string ->
+  out_chan:string ->
+  count:int ->
+  ?work:int ->
+  unit ->
+  Codesign_ir.Behavior.proc
+(** Receives [count] items, applies a MAC-flavoured transform iterated
+    [work] times (default 8) per item, and forwards the result. *)
+
+val consumer :
+  ?name:string -> chan:string -> count:int -> port:int -> unit -> Codesign_ir.Behavior.proc
+(** Receives [count] items, accumulates, and writes the final sum to an
+    output [port]; result variable ["acc"]. *)
+
+val pipeline :
+  ?stages:int ->
+  ?count:int ->
+  ?work:int ->
+  ?depth:int ->
+  unit ->
+  Codesign_ir.Process_network.t
+(** producer -> [stages] transforms -> consumer (default 2 transforms,
+    16 items, FIFO depth 2); everything initially mapped to software.
+    The consumer's output port is 1. *)
+
+val fork_join :
+  ?workers:int ->
+  ?items:int ->
+  ?work:int ->
+  unit ->
+  Codesign_ir.Process_network.t
+(** A splitter distributing [items] round-robin to [workers] transform
+    workers (default 3), merged by a joiner that emits the checksum on
+    port 1 — the multi-threaded co-processor shape of paper Fig. 9. *)
+
+val expected_pipeline_output : count:int -> work:int -> stages:int -> int
+(** Reference output of {!pipeline}'s consumer port (computed with plain
+    OCaml arithmetic, for asserting co-simulation correctness). *)

@@ -1,0 +1,1 @@
+test/test_bus.ml: Alcotest Bus Codesign_bus Codesign_isa Codesign_rtl Codesign_sim Device Dma Fun Interface_synth Interrupt List Memory_map Printf

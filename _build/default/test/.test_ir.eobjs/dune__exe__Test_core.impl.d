@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Codesign Codesign_ir Codesign_workloads Cost Cosynth List Partition Printf Report String Taxonomy

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Codesign_experiments Exp_ablation Exp_criteria Exp_fig1 Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig5 Exp_fig6 Exp_fig7 Exp_fig8 Exp_fig9 String

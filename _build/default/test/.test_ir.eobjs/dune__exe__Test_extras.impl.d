@@ -1,0 +1,1 @@
+test/test_extras.ml: Alcotest Array Asm Codesign Codesign_ir Codesign_isa Codesign_workloads Encoding Format Isa List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_flows.ml: Alcotest Asip Codesign Codesign_ir Codesign_workloads Coproc Cosim List Printf

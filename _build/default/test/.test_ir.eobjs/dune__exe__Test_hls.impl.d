@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Array Bind Codesign_hls Codesign_ir Codesign_isa Codesign_rtl Controller Format Hls List QCheck QCheck_alcotest Sched String

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Behavior Cdfg Codesign_ir Format Fun Graph_algo List Printf Process_network QCheck QCheck_alcotest String Task_graph

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Array Asm Codegen Codesign_ir Codesign_isa Cpu Format Isa List Profiler QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_periodic.ml: Alcotest Array Codesign Codesign_ir Codesign_workloads Cosynth Format List Periodic QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array Codesign Codesign_bus Codesign_ir Codesign_isa Codesign_sim Codesign_workloads Cosim Cost Cosynth Fun List Printf QCheck QCheck_alcotest String

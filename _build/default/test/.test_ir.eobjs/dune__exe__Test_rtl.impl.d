@@ -1,0 +1,1 @@
+test/test_rtl.ml: Alcotest Codesign_ir Codesign_rtl Estimate Fsmd Hdl_out List Logic_sim Netlist Printf QCheck QCheck_alcotest String

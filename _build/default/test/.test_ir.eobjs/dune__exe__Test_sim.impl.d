@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Channel Codesign_sim Event_queue Gen Kernel List Printf QCheck QCheck_alcotest Signal

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Codesign_hls Codesign_ir Codesign_isa Codesign_rtl Codesign_workloads List Queue

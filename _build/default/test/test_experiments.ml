@@ -1,0 +1,69 @@
+(* Smoke + shape tests for the experiment drivers: every EXP runs in
+   quick mode, produces a non-empty table, and its qualitative claim
+   (the paper's "shape") holds. *)
+
+open Codesign_experiments
+
+let check = Alcotest.check
+
+let non_empty name s =
+  check Alcotest.bool (name ^ " produces a table") true
+    (String.length s > 80 && String.contains s '|')
+
+let test_run name f () = non_empty name (f ~quick:true ())
+let test_shape name f () = check Alcotest.bool (name ^ " shape") true (f ())
+
+let () =
+  Alcotest.run "codesign_experiments"
+    [
+      ( "tables",
+        [
+          Alcotest.test_case "exp1 runs" `Quick
+            (test_run "exp1" (fun ~quick () -> Exp_fig1.run ~quick ()));
+          Alcotest.test_case "exp2 runs" `Quick
+            (test_run "exp2" (fun ~quick () -> Exp_fig2.run ~quick ()));
+          Alcotest.test_case "exp3 runs" `Quick
+            (test_run "exp3" (fun ~quick () -> Exp_fig3.run ~quick ()));
+          Alcotest.test_case "exp4 runs" `Quick
+            (test_run "exp4" (fun ~quick () -> Exp_fig4.run ~quick ()));
+          Alcotest.test_case "exp5 runs" `Quick
+            (test_run "exp5" (fun ~quick () -> Exp_fig5.run ~quick ()));
+          Alcotest.test_case "exp6 runs" `Quick
+            (test_run "exp6" (fun ~quick () -> Exp_fig6.run ~quick ()));
+          Alcotest.test_case "exp7 runs" `Quick
+            (test_run "exp7" (fun ~quick () -> Exp_fig7.run ~quick ()));
+          Alcotest.test_case "exp8 runs" `Quick
+            (test_run "exp8" (fun ~quick () -> Exp_fig8.run ~quick ()));
+          Alcotest.test_case "exp9 runs" `Quick
+            (test_run "exp9" (fun ~quick () -> Exp_fig9.run ~quick ()));
+          Alcotest.test_case "exp10 runs" `Quick
+            (test_run "exp10" (fun ~quick () -> Exp_criteria.run ~quick ()));
+          Alcotest.test_case "expA runs" `Quick
+            (test_run "expA" (fun ~quick () -> Exp_ablation.run ~quick ()));
+        ] );
+      ( "shapes",
+        [
+          Alcotest.test_case "exp1 classification agrees with paper" `Quick
+            (test_shape "exp1" Exp_fig1.all_agree);
+          Alcotest.test_case "exp2 fig-2 containment" `Quick
+            (test_shape "exp2" Exp_fig2.containment_holds);
+          Alcotest.test_case "exp3 ladder monotone" `Quick
+            (test_shape "exp3" (fun () -> Exp_fig3.shape_holds ()));
+          Alcotest.test_case "exp4 polled vs irq" `Quick
+            (test_shape "exp4" (fun () -> Exp_fig4.shape_holds ()));
+          Alcotest.test_case "exp5 exact vs heuristic" `Quick
+            (test_shape "exp5" (fun () -> Exp_fig5.shape_holds ()));
+          Alcotest.test_case "exp6 diminishing returns" `Quick
+            (test_shape "exp6" (fun () -> Exp_fig6.shape_holds ()));
+          Alcotest.test_case "exp7 static vs dynamic" `Quick
+            (test_shape "exp7" (fun () -> Exp_fig7.shape_holds ()));
+          Alcotest.test_case "exp8 partitioning shapes" `Quick
+            (test_shape "exp8" (fun () -> Exp_fig8.shape_holds ()));
+          Alcotest.test_case "exp9 thread scaling" `Quick
+            (test_shape "exp9" (fun () -> Exp_fig9.shape_holds ()));
+          Alcotest.test_case "exp10 §5 prose facts" `Quick
+            (test_shape "exp10" (fun () -> Exp_criteria.shape_holds ()));
+          Alcotest.test_case "expA ablation shapes" `Quick
+            (test_shape "expA" (fun () -> Exp_ablation.shape_holds ()));
+        ] );
+    ]

@@ -1,0 +1,263 @@
+(* Tests for the extension modules: binary instruction encoding
+   (property-based roundtrips), textual assembly roundtrips on random
+   programs, and profile-driven hotspot analysis. *)
+
+open Codesign_isa
+module B = Codesign_ir.Behavior
+module Kernels = Codesign_workloads.Kernels
+module Hotspot = Codesign.Hotspot
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Encoding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sample_instrs : int Isa.instr list =
+  [
+    Isa.Alu (Isa.Add, 1, 2, 3);
+    Isa.Alu (Isa.Seq, 31, 0, 15);
+    Isa.Alui (Isa.Shr, 4, 5, 9);
+    Isa.Alui (Isa.Mul, 4, 5, -700);
+    Isa.Li (7, 42);
+    Isa.Li (7, 0xEDB88320);
+    Isa.Li (7, -123456789);
+    Isa.Lw (2, 3, 65536);
+    Isa.Sw (2, 3, -8);
+    Isa.B (Isa.Lt, 9, 10, 2047);
+    Isa.B (Isa.Ge, 9, 10, 3);
+    Isa.J 100000;
+    Isa.Jal (31, 5);
+    Isa.Jr 31;
+    Isa.In (1, 99);
+    Isa.Out (1300, 2);
+    Isa.Custom (3, 8, 9, 10);
+    Isa.Ei;
+    Isa.Di;
+    Isa.Rti;
+    Isa.Nop;
+    Isa.Halt;
+  ]
+
+let test_encode_roundtrip_samples () =
+  List.iter
+    (fun i ->
+      let words = Encoding.encode i in
+      let i', rest = Encoding.decode words in
+      check Alcotest.bool
+        (Format.asprintf "roundtrip %a" (Isa.pp ~target:string_of_int) i)
+        true
+        (i = i' && rest = []))
+    sample_instrs
+
+let test_encode_word_counts () =
+  check Alcotest.int "small imm 1 word" 1
+    (Encoding.encoded_words (Isa.Li (1, 1000)));
+  check Alcotest.int "big imm 2 words" 2
+    (Encoding.encoded_words (Isa.Li (1, 70000)));
+  check Alcotest.int "negative small" 1
+    (Encoding.encoded_words (Isa.Li (1, -1024)));
+  check Alcotest.int "negative big" 2
+    (Encoding.encoded_words (Isa.Li (1, -1025)));
+  check Alcotest.int "alu always 1" 1
+    (Encoding.encoded_words (Isa.Alu (Isa.Mul, 1, 2, 3)))
+
+let test_encode_program () =
+  let p = Array.of_list sample_instrs in
+  let words = Encoding.encode_program p in
+  let p' = Encoding.decode_program words in
+  check Alcotest.bool "program roundtrip" true (p = p');
+  check Alcotest.int "program bytes" (4 * Array.length words)
+    (Encoding.program_bytes p)
+
+let test_encode_errors () =
+  (try
+     ignore (Encoding.encode (Isa.Li (1, 1 lsl 40)));
+     fail "imm out of range"
+   with Invalid_argument _ -> ());
+  (try
+     ignore (Encoding.decode []);
+     fail "empty stream"
+   with Invalid_argument _ -> ());
+  try
+    (* extended header without its second word *)
+    let header = List.hd (Encoding.encode (Isa.Li (1, 1 lsl 20))) in
+    ignore (Encoding.decode [ header ]);
+    fail "truncated pair"
+  with Invalid_argument _ -> ()
+
+let gen_instr : int Isa.instr QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let imm = oneof [ int_range (-1024) 1023; int_range (-100000) 100000 ] in
+  let aluop =
+    oneofl
+      [ Isa.Add; Isa.Sub; Isa.Mul; Isa.Div; Isa.Rem; Isa.And; Isa.Or;
+        Isa.Xor; Isa.Shl; Isa.Shr; Isa.Slt; Isa.Seq ]
+  in
+  let cond = oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge ] in
+  oneof
+    [
+      map3 (fun o (a, b) c -> Isa.Alu (o, a, b, c)) aluop (pair reg reg) reg;
+      map3 (fun o (a, b) i -> Isa.Alui (o, a, b, i)) aluop (pair reg reg) imm;
+      map2 (fun r i -> Isa.Li (r, i)) reg imm;
+      map3 (fun a b i -> Isa.Lw (a, b, i)) reg reg imm;
+      map3 (fun a b i -> Isa.Sw (a, b, i)) reg reg imm;
+      map3
+        (fun c (a, b) t -> Isa.B (c, a, b, t))
+        cond (pair reg reg) (int_bound 100000);
+      map (fun t -> Isa.J t) (int_bound 100000);
+      map2 (fun r t -> Isa.Jal (r, t)) reg (int_bound 100000);
+      map (fun r -> Isa.Jr r) reg;
+      map2 (fun r p -> Isa.In (r, p)) reg (int_bound 5000);
+      map2 (fun p r -> Isa.Out (p, r)) (int_bound 5000) reg;
+      map3
+        (fun e (a, b) c -> Isa.Custom (e, a, b, c))
+        (int_bound 2000) (pair reg reg) reg;
+      oneofl [ Isa.Ei; Isa.Di; Isa.Rti; Isa.Nop; Isa.Halt ];
+    ]
+
+let arb_program =
+  QCheck.make
+    ~print:(fun p ->
+      String.concat "\n"
+        (List.map
+           (Format.asprintf "%a" (Isa.pp ~target:string_of_int))
+           (Array.to_list p)))
+    QCheck.Gen.(map Array.of_list (list_size (int_range 0 40) gen_instr))
+
+let prop_encode_roundtrip =
+  QCheck.Test.make ~name:"binary encoding roundtrips" ~count:300 arb_program
+    (fun p -> Encoding.decode_program (Encoding.encode_program p) = p)
+
+(* textual assembly roundtrips through print + parse (instructions only;
+   the printer writes branch targets as rendered labels, so we wrap each
+   program with generated label names) *)
+let prop_asm_text_roundtrip =
+  QCheck.Test.make ~name:"asm text roundtrips through print/parse"
+    ~count:200 arb_program (fun p ->
+      let items =
+        Array.to_list p
+        |> List.map (fun i ->
+               Asm.Ins (Isa.map_target (fun t -> Printf.sprintf "L%d" t) i))
+      in
+      (* declare every referenced label at the end so parse and
+         re-assembly stay well-formed *)
+      let targets =
+        List.filter_map
+          (function
+            | Asm.Ins (Isa.B (_, _, _, l) : string Isa.instr) -> Some l
+            | Asm.Ins (Isa.J l) -> Some l
+            | Asm.Ins (Isa.Jal (_, l)) -> Some l
+            | _ -> None)
+          items
+        |> List.sort_uniq compare
+      in
+      let items = items @ List.map (fun l -> Asm.Label l) targets in
+      Asm.parse (Asm.print items) = items)
+
+(* ------------------------------------------------------------------ *)
+(* Hotspot                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_hotspot_finds_inner_loop () =
+  let _, fir, binds = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let p = Hotspot.analyze fir binds in
+  check Alcotest.bool "total positive" true (p.Hotspot.total_cycles > 1000);
+  (* fractions sum to ~1 *)
+  let sum =
+    List.fold_left (fun a r -> a +. r.Hotspot.fraction) 0.0 p.Hotspot.regions
+  in
+  check (Alcotest.float 0.01) "fractions sum to 1" 1.0 sum;
+  (* the hottest region is a loop, not the entry *)
+  (match p.Hotspot.regions with
+  | top :: _ ->
+      check Alcotest.bool
+        ("hottest is a loop: " ^ top.Hotspot.label)
+        true
+        (String.length top.Hotspot.label >= 3
+        && String.sub top.Hotspot.label 0 3 = "for")
+  | [] -> fail "no regions");
+  (* results surface the behaviour's outputs *)
+  check Alcotest.bool "has y" true (List.mem_assoc "y" p.Hotspot.results)
+
+let test_hotspot_coverage () =
+  let _, fir, binds = List.find (fun (n, _, _) -> n = "fir") Kernels.all in
+  let p = Hotspot.analyze fir binds in
+  let hot = Hotspot.hot_regions ~coverage:0.5 p in
+  let all = Hotspot.hot_regions ~coverage:1.1 p in
+  check Alcotest.bool "covering half needs fewer regions" true
+    (List.length hot <= List.length all);
+  check Alcotest.bool "hot regions non-empty" true (hot <> []);
+  let covered =
+    List.fold_left (fun a r -> a +. r.Hotspot.fraction) 0.0 hot
+  in
+  check Alcotest.bool "coverage reached" true (covered >= 0.5)
+
+let test_hotspot_to_task_graph () =
+  let stage name = List.find (fun (n, _, _) -> n = name) Kernels.all in
+  let _, p1, b1 = stage "fir" in
+  let _, p2, b2 = stage "crc32" in
+  let g =
+    Hotspot.to_task_graph ~deadline_factor:0.6 [ (p1, b1); (p2, b2) ]
+  in
+  check Alcotest.int "two tasks" 2 (Codesign_ir.Task_graph.n_tasks g);
+  let t0 = g.Codesign_ir.Task_graph.tasks.(0) in
+  (* software cost is the measured ISS cycle count *)
+  let measured = (Hotspot.analyze p1 b1).Hotspot.total_cycles in
+  check Alcotest.int "measured sw cycles" measured
+    t0.Codesign_ir.Task_graph.sw_cycles;
+  check Alcotest.bool "hw faster" true
+    (t0.Codesign_ir.Task_graph.hw_cycles
+    < t0.Codesign_ir.Task_graph.sw_cycles);
+  (* and the graph is partitionable: with a tight deadline something
+     must move to hardware *)
+  let r = Codesign.Partition.kl g in
+  check Alcotest.bool "partition uses hw" true
+    (r.Codesign.Partition.eval.Codesign.Cost.n_hw > 0)
+
+let test_hotspot_trap_reported () =
+  let bad =
+    {
+      B.name = "bad";
+      params = [];
+      arrays = [ ("t", 2) ];
+      results = [];
+      body = [ B.Store ("t", B.Int 500000, B.Int 1) ]
+      (* out-of-segment store: index clamps in the interpreter but the
+         compiled code writes out of the data segment into code space —
+         the address is out of the 64k memory, so the ISS traps *);
+    }
+  in
+  try
+    ignore (Hotspot.analyze bad []);
+    fail "expected trap report"
+  with Failure _ -> ()
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_extras"
+    [
+      ( "encoding",
+        [
+          Alcotest.test_case "sample roundtrips" `Quick
+            test_encode_roundtrip_samples;
+          Alcotest.test_case "word counts" `Quick test_encode_word_counts;
+          Alcotest.test_case "program roundtrip" `Quick test_encode_program;
+          Alcotest.test_case "errors" `Quick test_encode_errors;
+          QCheck_alcotest.to_alcotest prop_encode_roundtrip;
+          QCheck_alcotest.to_alcotest prop_asm_text_roundtrip;
+        ] );
+      ( "hotspot",
+        [
+          Alcotest.test_case "finds inner loop" `Quick
+            test_hotspot_finds_inner_loop;
+          Alcotest.test_case "coverage" `Quick test_hotspot_coverage;
+          Alcotest.test_case "to task graph" `Quick
+            test_hotspot_to_task_graph;
+          Alcotest.test_case "trap reported" `Quick
+            test_hotspot_trap_reported;
+        ] );
+    ]

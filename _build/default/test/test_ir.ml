@@ -1,0 +1,722 @@
+(* Tests for the codesign_ir library: graphs, task graphs, CDFGs,
+   behaviours and process networks. *)
+
+open Codesign_ir
+module G = Graph_algo
+module B = Behavior
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Graph_algo                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let diamond () = G.create ~n:4 ~edges:[ (0, 1); (0, 2); (1, 3); (2, 3) ]
+
+let test_graph_basic () =
+  let g = diamond () in
+  check Alcotest.int "n" 4 (G.n g);
+  check Alcotest.int "edges" 4 (G.edge_count g);
+  check (Alcotest.list Alcotest.int) "succ 0" [ 1; 2 ] (G.succ g 0);
+  check (Alcotest.list Alcotest.int) "pred 3" [ 1; 2 ] (G.pred g 3);
+  check Alcotest.bool "has_edge" true (G.has_edge g 0 1);
+  check Alcotest.bool "no edge" false (G.has_edge g 1 0);
+  check Alcotest.int "out_degree" 2 (G.out_degree g 0);
+  check Alcotest.int "in_degree" 0 (G.in_degree g 0)
+
+let test_graph_invalid () =
+  (try
+     ignore (G.create ~n:2 ~edges:[ (0, 2) ]);
+     fail "expected Invalid_argument"
+   with Invalid_argument _ -> ());
+  try
+    ignore (G.create ~n:(-1) ~edges:[]);
+    fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_topo_sort () =
+  let g = diamond () in
+  (match G.topo_sort g with
+  | Some [ 0; 1; 2; 3 ] -> ()
+  | Some o ->
+      fail
+        ("unexpected order: " ^ String.concat "," (List.map string_of_int o))
+  | None -> fail "expected a DAG");
+  let cyc = G.create ~n:3 ~edges:[ (0, 1); (1, 2); (2, 0) ] in
+  check Alcotest.bool "cyclic" false (G.is_dag cyc);
+  check Alcotest.bool "dag" true (G.is_dag g);
+  (* self loop is a cycle *)
+  let self = G.create ~n:1 ~edges:[ (0, 0) ] in
+  check Alcotest.bool "self-loop cyclic" false (G.is_dag self)
+
+let test_topo_deterministic () =
+  (* A wide antichain must come out in ascending id order. *)
+  let g = G.create ~n:5 ~edges:[] in
+  match G.topo_sort g with
+  | Some o -> check (Alcotest.list Alcotest.int) "order" [ 0; 1; 2; 3; 4 ] o
+  | None -> fail "dag"
+
+let test_sources_sinks () =
+  let g = diamond () in
+  check (Alcotest.list Alcotest.int) "sources" [ 0 ] (G.sources g);
+  check (Alcotest.list Alcotest.int) "sinks" [ 3 ] (G.sinks g)
+
+let test_longest_path () =
+  let g = diamond () in
+  let w = [| 1; 5; 2; 1 |] in
+  let dist = G.longest_path g ~weight:(fun i -> w.(i)) in
+  check Alcotest.int "dist 0" 1 dist.(0);
+  check Alcotest.int "dist 1" 6 dist.(1);
+  check Alcotest.int "dist 2" 3 dist.(2);
+  check Alcotest.int "dist 3" 7 dist.(3)
+
+let test_critical_path () =
+  let g = diamond () in
+  let w = [| 1; 5; 2; 1 |] in
+  let path, total = G.critical_path g ~weight:(fun i -> w.(i)) in
+  check Alcotest.int "total" 7 total;
+  check (Alcotest.list Alcotest.int) "path" [ 0; 1; 3 ] path
+
+let test_critical_path_cyclic_raises () =
+  let cyc = G.create ~n:2 ~edges:[ (0, 1); (1, 0) ] in
+  try
+    ignore (G.longest_path cyc ~weight:(fun _ -> 1));
+    fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_reachable () =
+  let g = diamond () in
+  let r = G.reachable g 1 in
+  check Alcotest.bool "1->1" true r.(1);
+  check Alcotest.bool "1->3" true r.(3);
+  check Alcotest.bool "1->0" false r.(0);
+  check Alcotest.bool "1->2" false r.(2);
+  let a = G.ancestors g 3 in
+  check Alcotest.bool "anc all" true (a.(0) && a.(1) && a.(2) && a.(3))
+
+let test_components () =
+  let g = G.create ~n:5 ~edges:[ (0, 1); (3, 4) ] in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "components"
+    [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (G.weakly_connected_components g)
+
+let test_transitive_closure () =
+  let g = diamond () in
+  let c = G.transitive_closure g in
+  check Alcotest.bool "0->3" true c.(0).(3);
+  check Alcotest.bool "3->0" false c.(3).(0);
+  check Alcotest.bool "diag" true c.(2).(2)
+
+let test_depth () =
+  let g = diamond () in
+  let d = G.depth g in
+  check Alcotest.int "d0" 0 d.(0);
+  check Alcotest.int "d1" 1 d.(1);
+  check Alcotest.int "d3" 2 d.(3)
+
+let test_all_pairs () =
+  let g = diamond () in
+  let d = G.all_pairs_longest g ~weight:(fun _ -> 1) in
+  check Alcotest.int "0->3" 3 d.(0).(3);
+  check Alcotest.int "0->0" 1 d.(0).(0);
+  check Alcotest.bool "3->0 none" true (d.(3).(0) = min_int)
+
+let test_dot () =
+  let s = G.dot ~name:"d" (diamond ()) in
+  check Alcotest.bool "digraph" true
+    (String.length s > 10 && String.sub s 0 9 = "digraph d")
+
+(* qcheck: topological order places every edge forward. *)
+let random_dag_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 30) (fun n ->
+        let* density = int_range 0 3 in
+        let edges = ref [] in
+        let* seeds = list_repeat (n * density) (pair (int_bound 1000) (int_bound 1000)) in
+        List.iter
+          (fun (a, b) ->
+            let u = a mod n and v = b mod n in
+            if u < v then edges := (u, v) :: !edges)
+          seeds;
+        return (n, !edges)))
+
+let arb_dag =
+  QCheck.make
+    ~print:(fun (n, es) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) es)))
+    random_dag_gen
+
+let prop_topo_respects_edges =
+  QCheck.Test.make ~name:"topo order places edges forward" ~count:200 arb_dag
+    (fun (n, edges) ->
+      let g = G.create ~n ~edges in
+      match G.topo_sort g with
+      | None -> false (* by construction u < v, always a DAG *)
+      | Some order ->
+          let pos = Array.make n 0 in
+          List.iteri (fun i u -> pos.(u) <- i) order;
+          List.for_all (fun (u, v) -> pos.(u) < pos.(v)) edges)
+
+let prop_longest_path_ge_weight =
+  QCheck.Test.make ~name:"longest path >= node weight" ~count:200 arb_dag
+    (fun (n, edges) ->
+      let g = G.create ~n ~edges in
+      let dist = G.longest_path g ~weight:(fun i -> (i mod 7) + 1) in
+      Array.to_list dist
+      |> List.mapi (fun i d -> d >= (i mod 7) + 1)
+      |> List.for_all Fun.id)
+
+let prop_critical_path_is_valid_path =
+  QCheck.Test.make ~name:"critical path is a real path with stated weight"
+    ~count:200 arb_dag (fun (n, edges) ->
+      let g = G.create ~n ~edges in
+      let w i = (i mod 5) + 1 in
+      let path, total = G.critical_path g ~weight:w in
+      let rec ok = function
+        | [] -> true
+        | [ _ ] -> true
+        | u :: (v :: _ as rest) -> G.has_edge g u v && ok rest
+      in
+      ok path && total = List.fold_left (fun a u -> a + w u) 0 path)
+
+(* ------------------------------------------------------------------ *)
+(* Task_graph                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module T = Task_graph
+
+let mk_task id name sw hw area =
+  T.task ~id ~name ~sw_cycles:sw ~hw_cycles:hw ~hw_area:area ()
+
+let small_tg () =
+  T.make ~name:"small" ~deadline:100
+    [ mk_task 0 "a" 10 2 50; mk_task 1 "b" 30 5 80; mk_task 2 "c" 20 4 60 ]
+    [ { T.src = 0; dst = 1; words = 4 }; { T.src = 1; dst = 2; words = 8 } ]
+
+let test_tg_basic () =
+  let g = small_tg () in
+  check Alcotest.int "n" 3 (T.n_tasks g);
+  check Alcotest.int "total sw" 60 (T.total_sw_cycles g);
+  check Alcotest.int "total area" 190 (T.total_hw_area g);
+  check Alcotest.int "cp" 60 (T.sw_critical_path g);
+  check Alcotest.int "comm 0->1" 4 (T.comm_words g 0 1);
+  check Alcotest.int "comm 1->0" 0 (T.comm_words g 1 0);
+  check (Alcotest.list Alcotest.int) "topo" [ 0; 1; 2 ] (T.topo_order g)
+
+let test_tg_validation () =
+  let bad_ids () =
+    T.make [ mk_task 1 "a" 1 1 1 ] [] |> ignore
+  in
+  (try bad_ids (); fail "ids" with Invalid_argument _ -> ());
+  (try
+     T.make
+       [ mk_task 0 "a" 1 1 1 ]
+       [ { T.src = 0; dst = 0; words = 1 } ]
+     |> ignore;
+     fail "self-loop"
+   with Invalid_argument _ -> ());
+  (try
+     T.make
+       [ mk_task 0 "a" 1 1 1; mk_task 1 "b" 1 1 1 ]
+       [ { T.src = 0; dst = 1; words = -3 } ]
+     |> ignore;
+     fail "negative words"
+   with Invalid_argument _ -> ());
+  try
+    T.make
+      [ mk_task 0 "a" 1 1 1; mk_task 1 "b" 1 1 1 ]
+      [ { T.src = 0; dst = 1; words = 1 }; { T.src = 1; dst = 0; words = 1 } ]
+    |> ignore;
+    fail "cycle"
+  with Invalid_argument _ -> ()
+
+let test_tg_defaults () =
+  let t = mk_task 0 "x" 10 1 1 in
+  check Alcotest.int "sw_bytes default" 20 t.T.sw_bytes;
+  check Alcotest.bool "modifiable default" false t.T.modifiable
+
+let test_tg_scale_deadline () =
+  let g = small_tg () in
+  let g2 = T.scale_deadline g 1.5 in
+  check Alcotest.int "deadline" 90 g2.T.deadline
+
+let test_tg_edges_views () =
+  let g = small_tg () in
+  check Alcotest.int "in_edges 1" 1 (List.length (T.in_edges g 1));
+  check Alcotest.int "out_edges 1" 1 (List.length (T.out_edges g 1));
+  check (Alcotest.list Alcotest.int) "succ 0" [ 1 ] (T.succ g 0);
+  check (Alcotest.list Alcotest.int) "pred 2" [ 1 ] (T.pred g 2)
+
+(* ------------------------------------------------------------------ *)
+(* Cdfg                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module C = Cdfg
+
+let mac_block () =
+  (* t = a*b + c *)
+  C.block_make "bb0"
+    [
+      { C.id = 0; opcode = C.Read "a"; args = [] };
+      { C.id = 1; opcode = C.Read "b"; args = [] };
+      { C.id = 2; opcode = C.Mul; args = [ 0; 1 ] };
+      { C.id = 3; opcode = C.Read "c"; args = [] };
+      { C.id = 4; opcode = C.Add; args = [ 2; 3 ] };
+      { C.id = 5; opcode = C.Write "t"; args = [ 4 ] };
+    ]
+
+let test_cdfg_basic () =
+  let g = C.make ~name:"mac" [ mac_block () ] in
+  check Alcotest.int "total ops" 6 (C.total_ops g);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "mix"
+    [ ("add", 1); ("mul", 1) ]
+    (C.op_mix g);
+  check Alcotest.int "latency" 4 (C.block_latency (mac_block ()))
+
+let test_cdfg_latency_weighted () =
+  let d = function C.Mul -> 4 | _ -> 1 in
+  check Alcotest.int "weighted latency" 7
+    (C.block_latency ~op_delay:d (mac_block ()))
+
+let test_cdfg_validation () =
+  (try
+     C.make [ C.block_make "b" [ { C.id = 0; opcode = C.Add; args = [] } ] ]
+     |> ignore;
+     fail "arity"
+   with Invalid_argument _ -> ());
+  (try
+     C.make
+       [ C.block_make "b" [ { C.id = 0; opcode = C.Neg; args = [ 0 ] } ] ]
+     |> ignore;
+     fail "forward ref"
+   with Invalid_argument _ -> ());
+  try
+    C.make [ C.block_make "b" []; C.block_make "b" [] ] |> ignore;
+    fail "dup labels"
+  with Invalid_argument _ -> ()
+
+let test_cdfg_trip_weighting () =
+  let b = { (mac_block ()) with C.trip = 10 } in
+  let g = C.make [ b ] in
+  check Alcotest.int "dyn ops" 60 (C.total_ops g);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "mix x10"
+    [ ("add", 10); ("mul", 10) ]
+    (C.op_mix g)
+
+(* ------------------------------------------------------------------ *)
+(* Behavior                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let run_res p binds = B.run p binds
+
+let test_behavior_arith () =
+  let p =
+    {
+      B.name = "arith";
+      params = [ "a"; "b" ];
+      arrays = [];
+      results = [ "x"; "y"; "z" ];
+      body =
+        [
+          B.Assign ("x", B.Bin (B.Add, B.Var "a", B.Var "b"));
+          B.Assign ("y", B.Bin (B.Mul, B.Var "a", B.Var "b"));
+          B.Assign
+            ("z", B.Bin (B.Div, B.Var "a", B.Int 0) (* div by 0 -> 0 *));
+        ];
+    }
+  in
+  let r = run_res p [ ("a", 7); ("b", 5) ] in
+  check Alcotest.int "x" 12 (List.assoc "x" r);
+  check Alcotest.int "y" 35 (List.assoc "y" r);
+  check Alcotest.int "z" 0 (List.assoc "z" r)
+
+let test_behavior_control () =
+  (* sum of squares 0..n-1 via for; factorial via while *)
+  let p =
+    {
+      B.name = "ctl";
+      params = [ "n" ];
+      arrays = [];
+      results = [ "sum"; "fact" ];
+      body =
+        [
+          B.Assign ("sum", B.Int 0);
+          B.For
+            ( "i",
+              B.Int 0,
+              B.Var "n",
+              [
+                B.Assign
+                  ( "sum",
+                    B.Bin
+                      (B.Add, B.Var "sum", B.Bin (B.Mul, B.Var "i", B.Var "i"))
+                  );
+              ] );
+          B.Assign ("fact", B.Int 1);
+          B.Assign ("k", B.Var "n");
+          B.While
+            ( B.Bin (B.Lt, B.Int 0, B.Var "k"),
+              [
+                B.Assign ("fact", B.Bin (B.Mul, B.Var "fact", B.Var "k"));
+                B.Assign ("k", B.Bin (B.Sub, B.Var "k", B.Int 1));
+              ],
+              5 );
+        ];
+    }
+  in
+  let r = run_res p [ ("n", 5) ] in
+  check Alcotest.int "sum" 30 (List.assoc "sum" r);
+  check Alcotest.int "fact" 120 (List.assoc "fact" r)
+
+let test_behavior_arrays () =
+  let p =
+    {
+      B.name = "arr";
+      params = [];
+      arrays = [ ("t", 4) ];
+      results = [ "s" ];
+      body =
+        [
+          B.For
+            ( "i",
+              B.Int 0,
+              B.Int 4,
+              [ B.Store ("t", B.Var "i", B.Bin (B.Mul, B.Var "i", B.Int 3)) ]
+            );
+          B.Assign ("s", B.Int 0);
+          B.For
+            ( "i",
+              B.Int 0,
+              B.Int 4,
+              [
+                B.Assign
+                  ("s", B.Bin (B.Add, B.Var "s", B.Idx ("t", B.Var "i")));
+              ] );
+        ];
+    }
+  in
+  check Alcotest.int "s" 18 (List.assoc "s" (run_res p []))
+
+let test_behavior_array_clamp () =
+  let p =
+    {
+      B.name = "clamp";
+      params = [];
+      arrays = [ ("t", 2) ];
+      results = [ "v" ];
+      body =
+        [
+          B.Store ("t", B.Int 99, B.Int 42);
+          (* clamps to index 1 *)
+          B.Assign ("v", B.Idx ("t", B.Int 1));
+        ];
+    }
+  in
+  check Alcotest.int "clamped store" 42 (List.assoc "v" (run_res p []))
+
+let test_behavior_io () =
+  let io, out = B.collecting_io () in
+  let p =
+    {
+      B.name = "io";
+      params = [];
+      arrays = [];
+      results = [];
+      body =
+        [
+          B.PortIn ("x", 3);
+          B.PortOut (1, B.Bin (B.Add, B.Var "x", B.Int 1));
+          B.PortOut (2, B.Int 9);
+        ];
+    }
+  in
+  let io = { io with B.port_in = (fun p -> p * 10) } in
+  ignore (B.run ~io p []);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "outs"
+    [ (1, 31); (2, 9) ]
+    (List.rev !out)
+
+let test_behavior_fuel () =
+  let p =
+    {
+      B.name = "loop";
+      params = [];
+      arrays = [];
+      results = [];
+      body = [ B.While (B.Int 1, [ B.Assign ("x", B.Int 0) ], 1) ];
+    }
+  in
+  try
+    ignore (B.run ~fuel:1000 p []);
+    fail "expected fuel exhaustion"
+  with Invalid_argument _ -> ()
+
+let test_behavior_array_binding () =
+  let p =
+    {
+      B.name = "bind";
+      params = [];
+      arrays = [ ("t", 3) ];
+      results = [ "v" ];
+      body = [ B.Assign ("v", B.Idx ("t", B.Int 2)) ];
+    }
+  in
+  check Alcotest.int "preloaded" 7 (List.assoc "v" (B.run p [ ("t[2]", 7) ]))
+
+let test_elaborate_structure () =
+  let p =
+    {
+      B.name = "elab";
+      params = [ "n" ];
+      arrays = [];
+      results = [ "s" ];
+      body =
+        [
+          B.Assign ("s", B.Int 0);
+          B.For
+            ( "i",
+              B.Int 0,
+              B.Int 10,
+              [ B.Assign ("s", B.Bin (B.Add, B.Var "s", B.Var "i")) ] );
+        ];
+    }
+  in
+  let g = B.elaborate p in
+  (* loop body block must carry trip = 10 *)
+  let body_block =
+    List.find
+      (fun b -> b.C.trip = 10)
+      g.C.blocks
+  in
+  check Alcotest.bool "body has add" true
+    (List.exists (fun o -> o.C.opcode = C.Add) body_block.C.ops);
+  (* op mix is trip-weighted *)
+  check Alcotest.int "adds" 10 (List.assoc "add" (C.op_mix g))
+
+let test_elaborate_if_blocks () =
+  let p =
+    {
+      B.name = "br";
+      params = [ "c" ];
+      arrays = [];
+      results = [];
+      body =
+        [
+          B.If
+            ( B.Var "c",
+              [ B.Assign ("x", B.Int 1) ],
+              [ B.Assign ("x", B.Int 2) ] );
+        ];
+    }
+  in
+  let g = B.elaborate p in
+  check Alcotest.bool ">= 3 blocks" true (List.length g.C.blocks >= 3);
+  check Alcotest.bool "has ctrl edges" true (List.length g.C.ctrl >= 2)
+
+let test_vars_of () =
+  let p =
+    {
+      B.name = "v";
+      params = [ "a" ];
+      arrays = [];
+      results = [];
+      body =
+        [
+          B.Assign ("b", B.Var "a");
+          B.If (B.Var "b", [ B.Assign ("c", B.Int 1) ], []);
+        ];
+    }
+  in
+  check (Alcotest.list Alcotest.string) "vars" [ "a"; "b"; "c" ] (B.vars_of p)
+
+let test_pp_behavior () =
+  let p =
+    {
+      B.name = "pp";
+      params = [ "a" ];
+      arrays = [];
+      results = [];
+      body = [ B.Assign ("x", B.Bin (B.Add, B.Var "a", B.Int 1)) ];
+    }
+  in
+  let s = Format.asprintf "%a" B.pp p in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check Alcotest.bool "mentions proc" true (contains s "proc pp");
+  check Alcotest.bool "mentions stmt" true (contains s "x = (a + 1);")
+
+(* Differential property: elaborated CDFG op mix counts never negative and
+   static ops >= number of assignments. *)
+let prop_elaborate_wellformed =
+  QCheck.Test.make ~name:"elaborate produces a valid CDFG" ~count:100
+    QCheck.(int_range 0 6)
+    (fun k ->
+      let body =
+        List.init k (fun i ->
+            B.Assign (Printf.sprintf "v%d" i, B.Bin (B.Add, B.Int i, B.Int 1)))
+      in
+      let p =
+        { B.name = "gen"; params = []; arrays = []; results = []; body }
+      in
+      let g = B.elaborate p in
+      (* Cdfg.make validates internally; just sanity-check op counts *)
+      C.total_ops g >= k)
+
+(* ------------------------------------------------------------------ *)
+(* Process_network                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Pn = Process_network
+
+let producer =
+  {
+    B.name = "producer";
+    params = [];
+    arrays = [];
+    results = [];
+    body =
+      [ B.For ("i", B.Int 0, B.Int 4, [ B.Send ("data", B.Var "i") ]) ];
+  }
+
+let consumer =
+  {
+    B.name = "consumer";
+    params = [];
+    arrays = [];
+    results = [ "acc" ];
+    body =
+      [
+        B.Assign ("acc", B.Int 0);
+        B.For
+          ( "i",
+            B.Int 0,
+            B.Int 4,
+            [
+              B.Recv ("v", "data");
+              B.Assign ("acc", B.Bin (B.Add, B.Var "acc", B.Var "v"));
+            ] );
+      ];
+  }
+
+let net () =
+  Pn.make ~name:"pc"
+    [ (producer, Pn.Sw); (consumer, Pn.Hw) ]
+    [ { Pn.cname = "data"; src = "producer"; dst = "consumer"; depth = 2 } ]
+
+let test_pn_basic () =
+  let n = net () in
+  check Alcotest.int "procs" 2 (List.length n.Pn.procs);
+  check Alcotest.int "cut" 1 (List.length (Pn.cut_channels n));
+  let n2 = Pn.remap n [ ("consumer", Pn.Sw) ] in
+  check Alcotest.int "cut after remap" 0 (List.length (Pn.cut_channels n2));
+  check Alcotest.int "sw procs" 2 (List.length (Pn.sw_procs n2))
+
+let test_pn_validation () =
+  (try
+     Pn.make
+       [ (producer, Pn.Sw) ]
+       [ { Pn.cname = "data"; src = "producer"; dst = "nobody"; depth = 0 } ]
+     |> ignore;
+     fail "unknown endpoint"
+   with Invalid_argument _ -> ());
+  (try
+     Pn.make [ (producer, Pn.Sw); (consumer, Pn.Hw) ] [] |> ignore;
+     fail "undeclared channel"
+   with Invalid_argument _ -> ());
+  try
+    Pn.make
+      [ (producer, Pn.Sw); (consumer, Pn.Hw) ]
+      [ { Pn.cname = "data"; src = "consumer"; dst = "producer"; depth = 0 } ]
+    |> ignore;
+    fail "wrong direction"
+  with Invalid_argument _ -> ()
+
+let test_pn_comm_graph () =
+  let n = net () in
+  let g, names = Pn.comm_graph n in
+  check Alcotest.int "nodes" 2 (G.n g);
+  check Alcotest.int "edges" 1 (G.edge_count g);
+  check Alcotest.string "name0" "producer" names.(0)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_ir"
+    [
+      ( "graph_algo",
+        [
+          Alcotest.test_case "basic accessors" `Quick test_graph_basic;
+          Alcotest.test_case "invalid input" `Quick test_graph_invalid;
+          Alcotest.test_case "topo sort" `Quick test_topo_sort;
+          Alcotest.test_case "topo deterministic" `Quick
+            test_topo_deterministic;
+          Alcotest.test_case "sources/sinks" `Quick test_sources_sinks;
+          Alcotest.test_case "longest path" `Quick test_longest_path;
+          Alcotest.test_case "critical path" `Quick test_critical_path;
+          Alcotest.test_case "cyclic raises" `Quick
+            test_critical_path_cyclic_raises;
+          Alcotest.test_case "reachable" `Quick test_reachable;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "closure" `Quick test_transitive_closure;
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "all pairs" `Quick test_all_pairs;
+          Alcotest.test_case "dot output" `Quick test_dot;
+          QCheck_alcotest.to_alcotest prop_topo_respects_edges;
+          QCheck_alcotest.to_alcotest prop_longest_path_ge_weight;
+          QCheck_alcotest.to_alcotest prop_critical_path_is_valid_path;
+        ] );
+      ( "task_graph",
+        [
+          Alcotest.test_case "basic" `Quick test_tg_basic;
+          Alcotest.test_case "validation" `Quick test_tg_validation;
+          Alcotest.test_case "defaults" `Quick test_tg_defaults;
+          Alcotest.test_case "scale deadline" `Quick test_tg_scale_deadline;
+          Alcotest.test_case "edge views" `Quick test_tg_edges_views;
+        ] );
+      ( "cdfg",
+        [
+          Alcotest.test_case "basic" `Quick test_cdfg_basic;
+          Alcotest.test_case "weighted latency" `Quick
+            test_cdfg_latency_weighted;
+          Alcotest.test_case "validation" `Quick test_cdfg_validation;
+          Alcotest.test_case "trip weighting" `Quick test_cdfg_trip_weighting;
+        ] );
+      ( "behavior",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_behavior_arith;
+          Alcotest.test_case "control flow" `Quick test_behavior_control;
+          Alcotest.test_case "arrays" `Quick test_behavior_arrays;
+          Alcotest.test_case "array clamping" `Quick test_behavior_array_clamp;
+          Alcotest.test_case "port io" `Quick test_behavior_io;
+          Alcotest.test_case "fuel bound" `Quick test_behavior_fuel;
+          Alcotest.test_case "array binding" `Quick
+            test_behavior_array_binding;
+          Alcotest.test_case "elaborate loop trips" `Quick
+            test_elaborate_structure;
+          Alcotest.test_case "elaborate branches" `Quick
+            test_elaborate_if_blocks;
+          Alcotest.test_case "vars_of" `Quick test_vars_of;
+          Alcotest.test_case "pretty print" `Quick test_pp_behavior;
+          QCheck_alcotest.to_alcotest prop_elaborate_wellformed;
+        ] );
+      ( "process_network",
+        [
+          Alcotest.test_case "basic" `Quick test_pn_basic;
+          Alcotest.test_case "validation" `Quick test_pn_validation;
+          Alcotest.test_case "comm graph" `Quick test_pn_comm_graph;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Robustness and cross-cutting property tests: VCD recording, failure
+   injection (deadlocks, traps, bad addresses surfacing through the
+   stack), PRNG behaviour, and cost-model invariants under random
+   inputs. *)
+
+module K = Codesign_sim.Kernel
+module Ch = Codesign_sim.Channel
+module S = Codesign_sim.Signal
+module Vcd = Codesign_sim.Vcd
+module Rng = Codesign_ir.Rng
+module T = Codesign_ir.Task_graph
+module B = Codesign_ir.Behavior
+module Pn = Codesign_ir.Process_network
+open Codesign
+module Tgff = Codesign_workloads.Tgff
+module Apps = Codesign_workloads.Apps
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* VCD                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_vcd_records_changes () =
+  let k = K.create () in
+  let s = S.create ~name:"data" k 0 in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:8 s;
+  K.spawn k (fun () ->
+      K.wait 5;
+      S.write s 3;
+      K.wait 5;
+      S.write s 255);
+  ignore (K.run ~expect_quiescent:true k);
+  check
+    (Alcotest.list
+       (Alcotest.triple Alcotest.int Alcotest.string Alcotest.int))
+    "changes"
+    [ (0, "data", 0); (5, "data", 3); (10, "data", 255) ]
+    (Vcd.changes vcd)
+
+let test_vcd_dump_format () =
+  let k = K.create () in
+  let req = S.create ~name:"req" k 0 in
+  let addr = S.create ~name:"addr" k 0 in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:1 req;
+  Vcd.watch vcd ~width:4 addr;
+  K.spawn k (fun () ->
+      K.wait 2;
+      S.write addr 0b1010;
+      S.write req 1;
+      K.wait 3;
+      S.write req 0);
+  ignore (K.run ~expect_quiescent:true k);
+  let doc = Vcd.dump vcd in
+  check Alcotest.bool "header" true (contains doc "$timescale 1ns $end");
+  check Alcotest.bool "var req" true (contains doc "$var wire 1 ! req $end");
+  check Alcotest.bool "var addr" true
+    (contains doc "$var wire 4 \" addr $end");
+  check Alcotest.bool "scalar change" true (contains doc "1!");
+  check Alcotest.bool "vector change" true (contains doc "b1010 \"");
+  check Alcotest.bool "time marker" true (contains doc "#2\n");
+  (* one #2 section only (grouped) *)
+  let count_marker =
+    String.split_on_char '\n' doc
+    |> List.filter (fun l -> l = "#2")
+    |> List.length
+  in
+  check Alcotest.int "grouped timestamps" 1 count_marker
+
+let test_vcd_on_pin_bus () =
+  (* record the actual bus wires during a pin-level transfer *)
+  let k = K.create () in
+  let map =
+    Codesign_bus.Memory_map.create
+      [ Codesign_bus.Memory_map.ram ~name:"ram" ~base:0 ~size:16 ]
+  in
+  let bus = Codesign_bus.Bus.Pin.create k map in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:1 (Codesign_bus.Bus.Pin.req_wire bus);
+  Vcd.watch vcd ~width:1 (Codesign_bus.Bus.Pin.ack_wire bus);
+  K.spawn k (fun () ->
+      Codesign_bus.Bus.Pin.write bus 3 7;
+      ignore (Codesign_bus.Bus.Pin.read bus 3));
+  ignore (K.run ~expect_quiescent:true k);
+  let doc = Vcd.dump vcd in
+  (* two transfers: req rises twice, ack rises twice *)
+  let rises code =
+    String.split_on_char '\n' doc
+    |> List.filter (fun l -> l = "1" ^ code)
+    |> List.length
+  in
+  check Alcotest.int "req pulses" 2 (rises "!");
+  check Alcotest.int "ack pulses" 2 (rises "\"")
+
+(* ------------------------------------------------------------------ *)
+(* Failure injection                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_network_deadlock_detected () =
+  (* consumer expects more items than the producer sends *)
+  let producer = Apps.producer ~chan:"c" ~count:2 () in
+  let consumer = Apps.consumer ~chan:"c" ~count:5 ~port:1 () in
+  let net =
+    Pn.make
+      [ (producer, Pn.Sw); (consumer, Pn.Sw) ]
+      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 1 } ]
+  in
+  try
+    ignore (Cosim.run_network net);
+    fail "expected Deadlock"
+  with K.Deadlock names ->
+    check Alcotest.bool "names the blocked process" true
+      (contains names "consumer")
+
+let test_network_trap_surfaces () =
+  (* a software process that stores out of its data segment traps; the
+     co-simulation must fail loudly, not silently *)
+  let bad =
+    {
+      B.name = "bad";
+      params = [];
+      arrays = [];
+      results = [];
+      body = [ B.Store ("nosuch", B.Int 0, B.Int 1) ];
+    }
+  in
+  (* Store to an undeclared array is rejected at compile time *)
+  (try
+     ignore (Codesign_isa.Codegen.compile bad);
+     fail "expected unknown-array failure"
+   with Invalid_argument _ -> ());
+  ()
+
+let test_unmapped_bus_address_raises () =
+  let k = K.create () in
+  let map =
+    Codesign_bus.Memory_map.create
+      [ Codesign_bus.Memory_map.ram ~name:"ram" ~base:0 ~size:16 ]
+  in
+  let bus = Codesign_bus.Bus.Tlm.create k map in
+  let saw = ref false in
+  K.spawn k (fun () ->
+      try ignore (Codesign_bus.Bus.Tlm.read bus 999)
+      with Invalid_argument _ -> saw := true);
+  ignore (K.run k);
+  check Alcotest.bool "unmapped read raised in-process" true !saw
+
+let test_double_resume_rejected () =
+  let k = K.create () in
+  let resume_cell = ref None in
+  K.spawn ~name:"victim" k (fun () ->
+      K.suspend ~register:(fun resume -> resume_cell := Some resume));
+  K.spawn ~name:"attacker" k (fun () ->
+      K.wait 1;
+      match !resume_cell with
+      | Some resume -> (
+          resume ();
+          try
+            resume ();
+            fail "expected double-resume rejection"
+          with Invalid_argument _ -> ())
+      | None -> fail "no resume captured");
+  ignore (K.run k)
+
+let test_channel_mismatched_direction_rejected () =
+  (* a process network where a behaviour sends on a channel declared in
+     the other direction is rejected statically *)
+  let p1 =
+    { B.name = "a"; params = []; arrays = []; results = [];
+      body = [ B.Send ("c", B.Int 1) ] }
+  in
+  let p2 =
+    { B.name = "b"; params = []; arrays = []; results = [];
+      body = [ B.Recv ("x", "c") ] }
+  in
+  try
+    ignore
+      (Pn.make
+         [ (p1, Pn.Sw); (p2, Pn.Sw) ]
+         [ { Pn.cname = "c"; src = "b"; dst = "a"; depth = 0 } ]);
+    fail "expected direction mismatch"
+  with Invalid_argument _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Rng                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 7 and b = Rng.create 7 in
+  let xs = List.init 50 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 50 (fun _ -> Rng.int b 1000) in
+  check (Alcotest.list Alcotest.int) "same stream" xs ys;
+  let c = Rng.create 8 in
+  let zs = List.init 50 (fun _ -> Rng.int c 1000) in
+  check Alcotest.bool "different seed" true (xs <> zs)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  check Alcotest.bool "split streams differ" true (xs <> ys)
+
+let prop_rng_bounds =
+  QCheck.Test.make ~name:"rng stays in bounds" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.create seed in
+      let v = Rng.int r bound in
+      v >= 0 && v < bound)
+
+let prop_rng_int_in =
+  QCheck.Test.make ~name:"rng int_in inclusive range" ~count:500
+    QCheck.(triple small_int (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, extent) ->
+      let hi = lo + extent in
+      let r = Rng.create seed in
+      let v = Rng.int_in r lo hi in
+      v >= lo && v <= hi)
+
+let test_rng_shuffle_permutes () =
+  let r = Rng.create 3 in
+  let a = Array.init 30 Fun.id in
+  let orig = Array.copy a in
+  Rng.shuffle r a;
+  check Alcotest.bool "same multiset" true
+    (List.sort compare (Array.to_list a) = Array.to_list orig);
+  check Alcotest.bool "actually moved" true (a <> orig)
+
+(* ------------------------------------------------------------------ *)
+(* Cost-model invariants (property-based)                              *)
+(* ------------------------------------------------------------------ *)
+
+let arb_graph_and_partition =
+  QCheck.make
+    ~print:(fun (seed, n, _) -> Printf.sprintf "seed=%d n=%d" seed n)
+    QCheck.Gen.(
+      let* seed = int_range 1 500 in
+      let* n = int_range 3 14 in
+      let* bits = list_repeat n bool in
+      return (seed, n, bits))
+
+let graph_of seed n =
+  Tgff.generate
+    { Tgff.default_spec with Tgff.seed; n_tasks = n; layers = min 4 n }
+
+let prop_comm_cost_monotone =
+  QCheck.Test.make ~name:"latency monotone in communication cost"
+    ~count:100 arb_graph_and_partition (fun (seed, n, bits) ->
+      let g = graph_of seed n in
+      let p = Array.of_list bits in
+      let lat c =
+        (Cost.evaluate
+           ~params:{ Cost.default_params with Cost.comm_cycles_per_word = c }
+           g p)
+          .Cost.latency
+      in
+      lat 0 <= lat 8 && lat 8 <= lat 64)
+
+let prop_sharing_never_costs_more =
+  QCheck.Test.make ~name:"sharing-aware area <= standalone area"
+    ~count:100 arb_graph_and_partition (fun (seed, n, bits) ->
+      let g = graph_of seed n in
+      let p = Array.of_list bits in
+      Cost.area_of_partition g p
+      <= Cost.area_of_partition
+           ~params:{ Cost.default_params with Cost.sharing = false }
+           g p)
+
+let prop_all_hw_not_slower_than_serial_hw =
+  QCheck.Test.make ~name:"parallel hw <= serial hw latency" ~count:100
+    arb_graph_and_partition (fun (seed, n, bits) ->
+      let g = graph_of seed n in
+      let p = Array.of_list bits in
+      let lat par =
+        (Cost.evaluate
+           ~params:{ Cost.default_params with Cost.hw_parallel = par }
+           g p)
+          .Cost.latency
+      in
+      lat true <= lat false)
+
+let prop_speedup_consistent =
+  QCheck.Test.make ~name:"speedup = all_sw / latency" ~count:100
+    arb_graph_and_partition (fun (seed, n, bits) ->
+      let g = graph_of seed n in
+      let e = Cost.evaluate g (Array.of_list bits) in
+      abs_float
+        (e.Cost.speedup
+        -. (float_of_int e.Cost.all_sw_latency /. float_of_int e.Cost.latency))
+      < 1e-9)
+
+let prop_shared_bus_never_faster =
+  QCheck.Test.make ~name:"shared interconnect never shortens a mapping"
+    ~count:60
+    QCheck.(pair (int_range 1 200) (int_range 3 8))
+    (fun (seed, n) ->
+      let g =
+        Tgff.generate
+          { Tgff.default_spec with Tgff.seed; n_tasks = n; layers = min 3 n;
+            deadline_factor = 1.5 }
+      in
+      let exec =
+        Array.map
+          (fun (t : T.task) ->
+            [| max 1 (t.T.sw_cycles / 2); t.T.sw_cycles |])
+          g.T.tasks
+      in
+      let lib =
+        [ { Cosynth.pt_name = "fast"; price = 40 };
+          { Cosynth.pt_name = "slow"; price = 10 } ]
+      in
+      let pb = Cosynth.problem ~comm_cycles_per_word:10 g lib ~exec in
+      let pb_bus =
+        Cosynth.problem ~comm_cycles_per_word:10
+          ~interconnect:Cosynth.Shared_bus g lib ~exec
+      in
+      let rng = Rng.create seed in
+      let pe_set = [ 0; 1; Rng.int rng 2 ] in
+      let mapping = Array.init n (fun _ -> Rng.int rng 3) in
+      Cosynth.makespan pb_bus ~pe_set ~mapping
+      >= Cosynth.makespan pb ~pe_set ~mapping)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_robustness"
+    [
+      ( "vcd",
+        [
+          Alcotest.test_case "records changes" `Quick
+            test_vcd_records_changes;
+          Alcotest.test_case "dump format" `Quick test_vcd_dump_format;
+          Alcotest.test_case "pin bus wires" `Quick test_vcd_on_pin_bus;
+        ] );
+      ( "failure_injection",
+        [
+          Alcotest.test_case "network deadlock detected" `Quick
+            test_network_deadlock_detected;
+          Alcotest.test_case "bad store rejected" `Quick
+            test_network_trap_surfaces;
+          Alcotest.test_case "unmapped address raises" `Quick
+            test_unmapped_bus_address_raises;
+          Alcotest.test_case "double resume rejected" `Quick
+            test_double_resume_rejected;
+          Alcotest.test_case "channel direction checked" `Quick
+            test_channel_mismatched_direction_rejected;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "split independent" `Quick
+            test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick
+            test_rng_shuffle_permutes;
+          QCheck_alcotest.to_alcotest prop_rng_bounds;
+          QCheck_alcotest.to_alcotest prop_rng_int_in;
+        ] );
+      ( "cost_properties",
+        [
+          QCheck_alcotest.to_alcotest prop_comm_cost_monotone;
+          QCheck_alcotest.to_alcotest prop_sharing_never_costs_more;
+          QCheck_alcotest.to_alcotest prop_all_hw_not_slower_than_serial_hw;
+          QCheck_alcotest.to_alcotest prop_speedup_consistent;
+          QCheck_alcotest.to_alcotest prop_shared_bus_never_faster;
+        ] );
+    ]

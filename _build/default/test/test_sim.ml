@@ -1,0 +1,517 @@
+(* Tests for the codesign_sim library: event queue, kernel, signals,
+   channels. *)
+
+open Codesign_sim
+module K = Kernel
+module Q = Event_queue
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Event_queue                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_q_order () =
+  let q = Q.create () in
+  let log = ref [] in
+  let ev tag () = log := tag :: !log in
+  Q.push q ~time:5 (ev "c");
+  Q.push q ~time:1 (ev "a");
+  Q.push q ~time:3 (ev "b");
+  let rec drain () =
+    match Q.pop q with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        drain ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "order" [ "a"; "b"; "c" ]
+    (List.rev !log)
+
+let test_q_stability () =
+  (* same timestamp: insertion order *)
+  let q = Q.create () in
+  let log = ref [] in
+  for i = 0 to 9 do
+    Q.push q ~time:7 (fun () -> log := i :: !log)
+  done;
+  let rec drain () =
+    match Q.pop q with
+    | None -> ()
+    | Some (_, f) ->
+        f ();
+        drain ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.int) "fifo at same time"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+    (List.rev !log)
+
+let test_q_stress_sorted () =
+  (* pseudo-random pushes come out sorted by time *)
+  let q = Q.create () in
+  let seed = ref 12345 in
+  let next () =
+    seed := (!seed * 1103515245) + 12345;
+    (!seed lsr 7) land 0xFFFF
+  in
+  for _ = 1 to 500 do
+    Q.push q ~time:(next ()) ignore
+  done;
+  let last = ref (-1) in
+  let rec drain n =
+    match Q.pop q with
+    | None -> n
+    | Some (t, _) ->
+        if t < !last then fail "out of order";
+        last := t;
+        drain (n + 1)
+  in
+  check Alcotest.int "count" 500 (drain 0);
+  check Alcotest.int "pushed_total" 500 (Q.pushed_total q)
+
+let test_q_negative () =
+  let q = Q.create () in
+  try
+    Q.push q ~time:(-1) ignore;
+    fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_q_peek () =
+  let q = Q.create () in
+  check (Alcotest.option Alcotest.int) "empty" None (Q.peek_time q);
+  Q.push q ~time:9 ignore;
+  check (Alcotest.option Alcotest.int) "peek" (Some 9) (Q.peek_time q);
+  check Alcotest.int "size" 1 (Q.size q);
+  check Alcotest.bool "not empty" false (Q.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Kernel                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_kernel_wait () =
+  let k = K.create () in
+  let log = ref [] in
+  K.spawn ~name:"p" k (fun () ->
+      log := (K.now k, "start") :: !log;
+      K.wait 10;
+      log := (K.now k, "mid") :: !log;
+      K.wait 5;
+      log := (K.now k, "end") :: !log);
+  let st = K.run k in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "timeline"
+    [ (0, "start"); (10, "mid"); (15, "end") ]
+    (List.rev !log);
+  check Alcotest.int "end_time" 15 st.K.end_time;
+  check Alcotest.int "spawned" 1 st.K.spawned;
+  check Alcotest.int "activations" 3 st.K.activations
+
+let test_kernel_interleave () =
+  (* two processes with different periods interleave deterministically *)
+  let k = K.create () in
+  let log = ref [] in
+  K.spawn ~name:"a" k (fun () ->
+      for _ = 1 to 3 do
+        log := ("a", K.now k) :: !log;
+        K.wait 4
+      done);
+  K.spawn ~name:"b" k (fun () ->
+      for _ = 1 to 4 do
+        log := ("b", K.now k) :: !log;
+        K.wait 3
+      done);
+  ignore (K.run k);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "interleaving"
+    [
+      ("a", 0); ("b", 0); ("b", 3); ("a", 4); ("b", 6); ("a", 8); ("b", 9);
+    ]
+    (List.rev !log)
+
+let test_kernel_until () =
+  let k = K.create () in
+  let count = ref 0 in
+  K.spawn k (fun () ->
+      let continue_ = ref true in
+      while !continue_ do
+        incr count;
+        K.wait 10;
+        if K.now k > 1000 then continue_ := false
+      done);
+  let st = K.run ~until:95 k in
+  check Alcotest.int "activations bounded" 10 !count;
+  check Alcotest.bool "time <= until" true (st.K.end_time <= 95);
+  (* resuming continues where we left off *)
+  let st2 = K.run ~until:205 k in
+  check Alcotest.int "more activations" 21 !count;
+  check Alcotest.bool "time advanced" true (st2.K.end_time > st.K.end_time)
+
+let test_kernel_deadlock () =
+  let k = K.create () in
+  K.spawn ~name:"stuck" k (fun () ->
+      K.suspend ~register:(fun _resume -> ()));
+  (try
+     ignore (K.run k);
+     fail "expected Deadlock"
+   with K.Deadlock names ->
+     check Alcotest.string "names" "stuck" names);
+  (* with expect_quiescent the same situation is fine *)
+  let k2 = K.create () in
+  K.spawn ~name:"stuck" k2 (fun () ->
+      K.suspend ~register:(fun _resume -> ()));
+  ignore (K.run ~expect_quiescent:true k2)
+
+let test_kernel_not_in_process () =
+  (try
+     K.wait 5;
+     fail "expected Not_in_process"
+   with K.Not_in_process -> ());
+  try
+    K.yield ();
+    fail "expected Not_in_process"
+  with K.Not_in_process -> ()
+
+let test_kernel_negative_wait () =
+  let k = K.create () in
+  let saw = ref false in
+  K.spawn k (fun () ->
+      try K.wait (-1) with Invalid_argument _ -> saw := true);
+  ignore (K.run k);
+  check Alcotest.bool "raised inside process" true !saw
+
+let test_kernel_yield_ordering () =
+  (* yield lets already-scheduled same-time events run first *)
+  let k = K.create () in
+  let log = ref [] in
+  K.spawn ~name:"first" k (fun () ->
+      log := "first.a" :: !log;
+      K.yield ();
+      log := "first.b" :: !log);
+  K.spawn ~name:"second" k (fun () -> log := "second" :: !log);
+  ignore (K.run k);
+  check (Alcotest.list Alcotest.string) "order"
+    [ "first.a"; "second"; "first.b" ]
+    (List.rev !log)
+
+let test_kernel_at_callback () =
+  let k = K.create () in
+  let fired = ref (-1) in
+  K.at k ~time:42 (fun () -> fired := K.now k);
+  ignore (K.run k);
+  check Alcotest.int "fired at 42" 42 !fired;
+  try
+    K.at k ~time:1 ignore;
+    fail "expected Invalid_argument (past)"
+  with Invalid_argument _ -> ()
+
+let test_kernel_self_name () =
+  let k = K.create () in
+  let name = ref "" in
+  K.spawn ~name:"zeta" k (fun () -> name := K.self_name ());
+  ignore (K.run k);
+  check Alcotest.string "self name" "zeta" !name;
+  check Alcotest.string "outside" "?" (K.self_name ())
+
+let test_kernel_trace () =
+  let k = K.create () in
+  let log = ref [] in
+  K.trace k (fun t m -> log := (t, m) :: !log);
+  K.spawn k (fun () ->
+      K.emit k "hello";
+      K.wait 7;
+      K.emit k "world");
+  ignore (K.run k);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "trace"
+    [ (0, "hello"); (7, "world") ]
+    (List.rev !log)
+
+let test_kernel_until_idle_time () =
+  (* run ~until advances time to the bound when the queue drains early *)
+  let k = K.create () in
+  K.spawn k (fun () -> K.wait 3);
+  let st = K.run ~until:50 k in
+  check Alcotest.int "advanced to until" 50 st.K.end_time
+
+(* qcheck: N processes each waiting random deltas always terminate with
+   end_time = max total delta. *)
+let prop_kernel_endtime =
+  QCheck.Test.make ~name:"end time = max process span" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 5) (list_of_size Gen.(int_range 0 6) (int_range 0 20)))
+    (fun delays_per_proc ->
+      let k = K.create () in
+      List.iter
+        (fun delays ->
+          K.spawn k (fun () -> List.iter (fun d -> K.wait d) delays))
+        delays_per_proc;
+      let st = K.run k in
+      let expect =
+        List.fold_left
+          (fun acc ds -> max acc (List.fold_left ( + ) 0 ds))
+          0 delays_per_proc
+      in
+      st.K.end_time = expect)
+
+(* ------------------------------------------------------------------ *)
+(* Signal                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_signal_write_wake () =
+  let k = K.create () in
+  let s = Signal.create k 0 in
+  let seen = ref (-1) in
+  K.spawn ~name:"reader" k (fun () -> seen := Signal.await_change s);
+  K.spawn ~name:"writer" k (fun () ->
+      K.wait 5;
+      Signal.write s 99);
+  ignore (K.run k);
+  check Alcotest.int "woken with value" 99 !seen;
+  check Alcotest.int "write count" 1 (Signal.write_count s)
+
+let test_signal_no_wake_on_same_value () =
+  let k = K.create () in
+  let s = Signal.create k 7 in
+  Signal.write s 7;
+  check Alcotest.int "no waking write" 0 (Signal.write_count s);
+  Signal.pulse s 7;
+  check Alcotest.int "pulse wakes" 1 (Signal.write_count s)
+
+let test_signal_await_predicate () =
+  let k = K.create () in
+  let s = Signal.create k 0 in
+  let hit = ref 0 in
+  K.spawn ~name:"waiter" k (fun () -> hit := Signal.await s (fun v -> v >= 3));
+  K.spawn ~name:"writer" k (fun () ->
+      for i = 1 to 5 do
+        K.wait 1;
+        Signal.write s i
+      done);
+  ignore (K.run ~expect_quiescent:true k);
+  check Alcotest.int "first satisfying value" 3 !hit
+
+let test_signal_await_immediate () =
+  let k = K.create () in
+  let s = Signal.create k 10 in
+  let hit = ref 0 in
+  K.spawn k (fun () -> hit := Signal.await s (fun v -> v = 10));
+  ignore (K.run k);
+  check Alcotest.int "immediate" 10 !hit
+
+let test_signal_posedge () =
+  let k = K.create () in
+  let clk = Signal.create k 0 in
+  let edges = ref [] in
+  K.spawn ~name:"sampler" k (fun () ->
+      for _ = 1 to 3 do
+        Signal.posedge clk;
+        edges := K.now k :: !edges
+      done);
+  K.spawn ~name:"clock" k (fun () ->
+      for _ = 1 to 4 do
+        K.wait 5;
+        Signal.write clk 1;
+        K.wait 5;
+        Signal.write clk 0
+      done);
+  ignore (K.run ~expect_quiescent:true k);
+  check (Alcotest.list Alcotest.int) "posedges" [ 5; 15; 25 ]
+    (List.rev !edges)
+
+let test_signal_multiple_waiters () =
+  let k = K.create () in
+  let s = Signal.create k 0 in
+  let order = ref [] in
+  for i = 1 to 3 do
+    K.spawn ~name:(Printf.sprintf "w%d" i) k (fun () ->
+        ignore (Signal.await_change s);
+        order := i :: !order)
+  done;
+  K.spawn ~name:"writer" k (fun () ->
+      K.wait 1;
+      Signal.write s 5);
+  ignore (K.run k);
+  check (Alcotest.list Alcotest.int) "wake order fifo" [ 1; 2; 3 ]
+    (List.rev !order)
+
+(* ------------------------------------------------------------------ *)
+(* Channel                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_chan_rendezvous () =
+  let k = K.create () in
+  let c = Channel.create ~name:"r" k () in
+  let log = ref [] in
+  K.spawn ~name:"tx" k (fun () ->
+      for i = 1 to 3 do
+        Channel.send c i;
+        log := ("sent", i, K.now k) :: !log
+      done);
+  K.spawn ~name:"rx" k (fun () ->
+      for _ = 1 to 3 do
+        K.wait 10;
+        let v = Channel.recv c in
+        log := ("recv", v, K.now k) :: !log
+      done);
+  ignore (K.run k);
+  let stats = Channel.stats c in
+  check Alcotest.int "sends" 3 stats.Channel.sends;
+  check Alcotest.bool "sender blocked" true (stats.Channel.send_blocks >= 1);
+  (* values in order *)
+  let recvs = List.filter (fun (t, _, _) -> t = "recv") (List.rev !log) in
+  check
+    (Alcotest.list Alcotest.int)
+    "fifo values" [ 1; 2; 3 ]
+    (List.map (fun (_, v, _) -> v) recvs)
+
+let test_chan_buffered_nonblocking () =
+  let k = K.create () in
+  let c = Channel.create ~depth:4 k () in
+  K.spawn ~name:"tx" k (fun () ->
+      for i = 1 to 4 do
+        Channel.send c i
+      done);
+  ignore (K.run ~expect_quiescent:true k);
+  let stats = Channel.stats c in
+  check Alcotest.int "no blocks" 0 stats.Channel.send_blocks;
+  check Alcotest.int "occupancy" 4 (Channel.occupancy c)
+
+let test_chan_buffered_backpressure () =
+  let k = K.create () in
+  let c = Channel.create ~depth:2 k () in
+  let done_tx = ref (-1) in
+  K.spawn ~name:"tx" k (fun () ->
+      for i = 1 to 5 do
+        Channel.send c i
+      done;
+      done_tx := K.now k);
+  K.spawn ~name:"rx" k (fun () ->
+      for _ = 1 to 5 do
+        K.wait 10;
+        ignore (Channel.recv c)
+      done);
+  ignore (K.run k);
+  let stats = Channel.stats c in
+  check Alcotest.int "all sent" 5 stats.Channel.sends;
+  check Alcotest.bool "tx experienced backpressure" true
+    (stats.Channel.send_blocks > 0);
+  check Alcotest.bool "tx finished late" true (!done_tx >= 30)
+
+let test_chan_try_ops () =
+  let k = K.create () in
+  let c = Channel.create ~depth:1 k () in
+  check Alcotest.bool "try_send ok" true (Channel.try_send c 5);
+  check Alcotest.bool "try_send full" false (Channel.try_send c 6);
+  check (Alcotest.option Alcotest.int) "try_recv" (Some 5)
+    (Channel.try_recv c);
+  check (Alcotest.option Alcotest.int) "try_recv empty" None
+    (Channel.try_recv c)
+
+let test_chan_recv_before_send () =
+  let k = K.create () in
+  let c = Channel.create k () in
+  let got = ref 0 in
+  K.spawn ~name:"rx" k (fun () -> got := Channel.recv c);
+  K.spawn ~name:"tx" k (fun () ->
+      K.wait 20;
+      Channel.send c 77);
+  ignore (K.run k);
+  check Alcotest.int "value" 77 !got;
+  check Alcotest.int "recv blocked once" 1 (Channel.stats c).Channel.recv_blocks
+
+let test_chan_many_to_one_fifo () =
+  (* multiple pending senders are served in arrival order *)
+  let k = K.create () in
+  let c = Channel.create k () in
+  let got = ref [] in
+  for i = 1 to 3 do
+    K.spawn ~name:(Printf.sprintf "tx%d" i) k (fun () -> Channel.send c i)
+  done;
+  K.spawn ~name:"rx" k (fun () ->
+      K.wait 5;
+      for _ = 1 to 3 do
+        got := Channel.recv c :: !got
+      done);
+  ignore (K.run k);
+  check (Alcotest.list Alcotest.int) "fifo" [ 1; 2; 3 ] (List.rev !got)
+
+let prop_chan_transfers_preserve_order =
+  QCheck.Test.make ~name:"channel preserves message order" ~count:100
+    QCheck.(pair (int_range 0 3) (small_list small_int))
+    (fun (depth, msgs) ->
+      let k = K.create () in
+      let c = Channel.create ~depth k () in
+      let out = ref [] in
+      K.spawn ~name:"tx" k (fun () ->
+          List.iter (fun m -> Channel.send c m) msgs);
+      K.spawn ~name:"rx" k (fun () ->
+          for _ = 1 to List.length msgs do
+            out := Channel.recv c :: !out
+          done);
+      ignore (K.run k);
+      List.rev !out = msgs)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_sim"
+    [
+      ( "event_queue",
+        [
+          Alcotest.test_case "time order" `Quick test_q_order;
+          Alcotest.test_case "stability" `Quick test_q_stability;
+          Alcotest.test_case "stress sorted" `Quick test_q_stress_sorted;
+          Alcotest.test_case "negative time" `Quick test_q_negative;
+          Alcotest.test_case "peek/size" `Quick test_q_peek;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "wait timeline" `Quick test_kernel_wait;
+          Alcotest.test_case "interleaving" `Quick test_kernel_interleave;
+          Alcotest.test_case "until bound + resume" `Quick test_kernel_until;
+          Alcotest.test_case "deadlock detection" `Quick test_kernel_deadlock;
+          Alcotest.test_case "not in process" `Quick
+            test_kernel_not_in_process;
+          Alcotest.test_case "negative wait" `Quick test_kernel_negative_wait;
+          Alcotest.test_case "yield ordering" `Quick
+            test_kernel_yield_ordering;
+          Alcotest.test_case "at callback" `Quick test_kernel_at_callback;
+          Alcotest.test_case "self name" `Quick test_kernel_self_name;
+          Alcotest.test_case "trace" `Quick test_kernel_trace;
+          Alcotest.test_case "until idles clock" `Quick
+            test_kernel_until_idle_time;
+          QCheck_alcotest.to_alcotest prop_kernel_endtime;
+        ] );
+      ( "signal",
+        [
+          Alcotest.test_case "write wakes" `Quick test_signal_write_wake;
+          Alcotest.test_case "no wake on same value" `Quick
+            test_signal_no_wake_on_same_value;
+          Alcotest.test_case "await predicate" `Quick
+            test_signal_await_predicate;
+          Alcotest.test_case "await immediate" `Quick
+            test_signal_await_immediate;
+          Alcotest.test_case "posedge" `Quick test_signal_posedge;
+          Alcotest.test_case "multiple waiters fifo" `Quick
+            test_signal_multiple_waiters;
+        ] );
+      ( "channel",
+        [
+          Alcotest.test_case "rendezvous" `Quick test_chan_rendezvous;
+          Alcotest.test_case "buffered non-blocking" `Quick
+            test_chan_buffered_nonblocking;
+          Alcotest.test_case "backpressure" `Quick
+            test_chan_buffered_backpressure;
+          Alcotest.test_case "try ops" `Quick test_chan_try_ops;
+          Alcotest.test_case "recv before send" `Quick
+            test_chan_recv_before_send;
+          Alcotest.test_case "many-to-one fifo" `Quick
+            test_chan_many_to_one_fifo;
+          QCheck_alcotest.to_alcotest prop_chan_transfers_preserve_order;
+        ] );
+    ]
