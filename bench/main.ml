@@ -1,30 +1,86 @@
 (* The benchmark harness: regenerates every evaluation artifact of the
-   paper (one table per figure, EXP-1..EXP-10; see DESIGN.md for the
-   index) and then runs Bechamel micro-benchmarks over the framework's
-   computational kernels.
+   paper (one table per figure, EXP-1..EXP-10 and EXP-A; see DESIGN.md
+   for the index) and then runs Bechamel micro-benchmarks over the
+   framework's computational kernels.
 
-   Usage:  dune exec bench/main.exe            (everything)
-           dune exec bench/main.exe -- quick   (small experiment sizes)
-           dune exec bench/main.exe -- tables  (skip microbenchmarks)   *)
+   The eleven experiments are independent, so the tables phase runs them
+   on a pool of OCaml 5 domains (one experiment per domain at a time);
+   tables are printed in experiment order once all have finished.  Every
+   run also writes a machine-readable BENCH_results.json (schema in
+   README.md) with per-experiment wall time, simulation counters and —
+   unless skipped — the Bechamel ns/run estimates.
 
-open Codesign_experiments
+   Usage:  dune exec bench/main.exe                 (everything)
+           dune exec bench/main.exe -- quick        (small experiment sizes)
+           dune exec bench/main.exe -- tables       (skip microbenchmarks)
+           dune exec bench/main.exe -- -j N         (worker-domain count)   *)
 
-let experiments =
-  [
-    ("EXP-1", fun ~quick () -> Exp_fig1.run ~quick ());
-    ("EXP-2", fun ~quick () -> Exp_fig2.run ~quick ());
-    ("EXP-3", fun ~quick () -> Exp_fig3.run ~quick ());
-    ("EXP-4", fun ~quick () -> Exp_fig4.run ~quick ());
-    ("EXP-5", fun ~quick () -> Exp_fig5.run ~quick ());
-    ("EXP-6", fun ~quick () -> Exp_fig6.run ~quick ());
-    ("EXP-7", fun ~quick () -> Exp_fig7.run ~quick ());
-    ("EXP-8", fun ~quick () -> Exp_fig8.run ~quick ());
-    ("EXP-9", fun ~quick () -> Exp_fig9.run ~quick ());
-    ("EXP-10", fun ~quick () -> Exp_criteria.run ~quick ());
-    ("EXP-A", fun ~quick () -> Exp_ablation.run ~quick ());
-  ]
+module Obs = Codesign_obs
+module Registry = Codesign_experiments.Registry
+module Kernel = Codesign_sim.Kernel
 
-let run_tables ~quick =
+(* ------------------------------------------------------------------ *)
+(* domain-parallel experiment tables                                   *)
+(* ------------------------------------------------------------------ *)
+
+type exp_result = {
+  entry : Registry.entry;
+  table : string;
+  measured : Obs.Bench_report.experiment;
+}
+
+(* Runs one experiment on the calling domain, attributing the simulation
+   work it causes via the domain-local kernel counters. *)
+let run_one ~quick (entry : Registry.entry) =
+  let before = Kernel.domain_totals () in
+  let t0 = Obs.Clock.now_ns () in
+  let table = entry.Registry.run ~quick () in
+  let wall_s = Obs.Clock.elapsed_s ~since:t0 in
+  let after = Kernel.domain_totals () in
+  {
+    entry;
+    table;
+    measured =
+      {
+        Obs.Bench_report.name = entry.Registry.exp_id;
+        wall_s;
+        events = after.Kernel.d_events - before.Kernel.d_events;
+        activations = after.Kernel.d_activations - before.Kernel.d_activations;
+        scheduled = after.Kernel.d_scheduled - before.Kernel.d_scheduled;
+        kernels = after.Kernel.d_kernels - before.Kernel.d_kernels;
+        table_checksum = Obs.Checksum.of_string table;
+      };
+  }
+
+let run_tables ~quick ~jobs =
+  let entries = Array.of_list Registry.all in
+  let n = Array.length entries in
+  let results = Array.make n None in
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <- Some (run_one ~quick entries.(i));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let t0 = Obs.Clock.now_ns () in
+  let helpers =
+    List.init (jobs - 1) (fun _ -> Domain.spawn worker)
+  in
+  worker ();
+  List.iter Domain.join helpers;
+  let tables_wall_s = Obs.Clock.elapsed_s ~since:t0 in
+  let results =
+    Array.to_list results
+    |> List.map (function Some r -> r | None -> assert false)
+  in
+  (results, tables_wall_s)
+
+let print_tables ~jobs results tables_wall_s =
   print_endline
     "=================================================================";
   print_endline
@@ -33,13 +89,15 @@ let run_tables ~quick =
   print_endline
     "=================================================================\n";
   List.iter
-    (fun (name, f) ->
-      let t0 = Unix.gettimeofday () in
-      let table = f ~quick () in
-      let dt = Unix.gettimeofday () -. t0 in
-      print_endline table;
-      Printf.printf "(%s generated in %.2fs)\n\n" name dt)
-    experiments
+    (fun r ->
+      print_endline r.table;
+      Printf.printf "(%s generated in %.2fs, %d kernel events)\n\n"
+        r.measured.Obs.Bench_report.name r.measured.Obs.Bench_report.wall_s
+        r.measured.Obs.Bench_report.events)
+    results;
+  Printf.printf "(tables phase: %.2fs on %d worker domain%s)\n\n"
+    tables_wall_s jobs
+    (if jobs = 1 then "" else "s")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the framework's computational kernels  *)
@@ -115,6 +173,8 @@ let bench_cosim_tlm () =
 
 let bench_asip () = ignore (Asip.design fir_proc fir_binds)
 
+(* Returns the (name, ns/run OLS estimate) rows alongside printing them,
+   so the JSON artifact carries the same numbers as the text report. *)
 let run_microbenchmarks () =
   let open Bechamel in
   let test name f = Test.make ~name (Staged.stage f) in
@@ -150,20 +210,61 @@ let run_microbenchmarks () =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols_result ->
-      let est =
-        match Analyze.OLS.estimates ols_result with
-        | Some [ e ] -> Printf.sprintf "%12.0f" e
-        | _ -> "           ?"
-      in
-      rows := (name, est) :: !rows)
+      match Analyze.OLS.estimates ols_result with
+      | Some [ e ] -> rows := (name, e) :: !rows
+      | _ -> ())
     clock;
+  let rows = List.sort compare !rows in
   List.iter
-    (fun (name, est) -> Printf.printf "  %-40s %s ns\n" name est)
-    (List.sort compare !rows)
+    (fun (name, est) -> Printf.printf "  %-40s %12.0f ns\n" name est)
+    rows;
+  rows
+
+(* ------------------------------------------------------------------ *)
+
+let report_path = "BENCH_results.json"
 
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "quick" args in
   let tables_only = List.mem "tables" args in
-  run_tables ~quick;
-  if not tables_only then run_microbenchmarks ()
+  let jobs =
+    let rec find = function
+      | ("-j" | "--jobs") :: n :: _ -> (
+          match int_of_string_opt n with
+          | Some j -> j
+          | None ->
+              Printf.eprintf "bench: -j expects an integer, got %S\n" n;
+              exit 2)
+      | _ :: rest -> find rest
+      | [] ->
+          min (List.length Registry.all)
+            (max 1 (Domain.recommended_domain_count ()))
+    in
+    max 1 (find args)
+  in
+  let results, tables_wall_s = run_tables ~quick ~jobs in
+  print_tables ~jobs results tables_wall_s;
+  let micros =
+    if tables_only then []
+    else
+      List.map
+        (fun (name, est) ->
+          { Obs.Bench_report.m_name = name; ns_per_run = est })
+        (run_microbenchmarks ())
+  in
+  let report =
+    {
+      Obs.Bench_report.schema_version = Obs.Bench_report.schema_version;
+      mode = (if quick then "quick" else "full");
+      domains = jobs;
+      tables_wall_s;
+      experiments = List.map (fun r -> r.measured) results;
+      microbenchmarks = micros;
+    }
+  in
+  Obs.Bench_report.write ~path:report_path report;
+  Printf.printf "\n(wrote %s: %d experiments, %d microbenchmarks)\n"
+    report_path
+    (List.length report.Obs.Bench_report.experiments)
+    (List.length report.Obs.Bench_report.microbenchmarks)

@@ -3,11 +3,11 @@
      dune exec bin/codesign_cli.exe -- <command> ...
 
    Commands:
-     experiments [-q] [NAME...]     print experiment tables (default all)
+     experiments [-q] [--json] [NAME...]  print experiment tables (default all)
      partition   [options]          partition a generated task graph
      cosynth     [options]          heterogeneous multiprocessor synthesis
      asip        KERNEL [options]   instruction-set extension flow
-     cosim       [--level L]        co-simulate the echo system
+     cosim       [--level L] [--json]  co-simulate the echo system
      kernels                        list the benchmark kernels
      disasm      KERNEL             show a kernel's compiled assembly      *)
 
@@ -16,6 +16,13 @@ open Codesign
 module T = Codesign_ir.Task_graph
 module Tgff = Codesign_workloads.Tgff
 module Kernels = Codesign_workloads.Kernels
+module Registry = Codesign_experiments.Registry
+module Obs = Codesign_obs
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ] ~doc:"Machine-readable JSON output instead of text.")
 
 (* ------------------------------------------------------------------ *)
 (* shared arguments                                                    *)
@@ -42,21 +49,28 @@ let kernel_arg =
 (* experiments                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let all_experiments =
-  Codesign_experiments.
-    [
-      ("exp1", fun ~quick () -> Exp_fig1.run ~quick ());
-      ("exp2", fun ~quick () -> Exp_fig2.run ~quick ());
-      ("exp3", fun ~quick () -> Exp_fig3.run ~quick ());
-      ("exp4", fun ~quick () -> Exp_fig4.run ~quick ());
-      ("exp5", fun ~quick () -> Exp_fig5.run ~quick ());
-      ("exp6", fun ~quick () -> Exp_fig6.run ~quick ());
-      ("exp7", fun ~quick () -> Exp_fig7.run ~quick ());
-      ("exp8", fun ~quick () -> Exp_fig8.run ~quick ());
-      ("exp9", fun ~quick () -> Exp_fig9.run ~quick ());
-      ("exp10", fun ~quick () -> Exp_criteria.run ~quick ());
-      ("expA", fun ~quick () -> Exp_ablation.run ~quick ());
-    ]
+(* One experiment run with the same measurement wrapper the bench
+   harness uses, so CLI JSON records match BENCH_results.json entries. *)
+let measure_experiment ~quick (e : Registry.entry) =
+  let module K = Codesign_sim.Kernel in
+  let before = K.domain_totals () in
+  let t0 = Obs.Clock.now_ns () in
+  let table = e.Registry.run ~quick () in
+  let wall_s = Obs.Clock.elapsed_s ~since:t0 in
+  let after = K.domain_totals () in
+  ( table,
+    Obs.Json.Obj
+      [
+        ("name", Obs.Json.Str e.Registry.exp_id);
+        ("wall_s", Obs.Json.Float wall_s);
+        ("events", Obs.Json.Int (after.K.d_events - before.K.d_events));
+        ( "activations",
+          Obs.Json.Int (after.K.d_activations - before.K.d_activations) );
+        ("scheduled", Obs.Json.Int (after.K.d_scheduled - before.K.d_scheduled));
+        ("kernels", Obs.Json.Int (after.K.d_kernels - before.K.d_kernels));
+        ("table_checksum", Obs.Json.Str (Obs.Checksum.of_string table));
+        ("table", Obs.Json.Str table);
+      ] )
 
 let experiments_cmd =
   let quick =
@@ -67,22 +81,35 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"NAME" ~doc:"Experiment names (exp1..exp10, expA).")
   in
-  let run quick names =
+  let run quick json names =
     let selected =
-      if names = [] then all_experiments
+      if names = [] then Registry.all
       else
-        List.filter (fun (n, _) -> List.mem n names) all_experiments
+        List.filter
+          (fun (e : Registry.entry) ->
+            List.mem e.Registry.cli_name names
+            || List.mem e.Registry.exp_id names)
+          Registry.all
     in
     if selected = [] then
       Error (`Msg "no matching experiments (try exp1..exp10, expA)")
+    else if json then begin
+      let records =
+        List.map (fun e -> snd (measure_experiment ~quick e)) selected
+      in
+      print_endline (Obs.Json.to_string ~pretty:true (Obs.Json.List records));
+      Ok ()
+    end
     else begin
-      List.iter (fun (_, f) -> print_endline (f ~quick ())) selected;
+      List.iter
+        (fun (e : Registry.entry) -> print_endline (e.Registry.run ~quick ()))
+        selected;
       Ok ()
     end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Print reproduction experiment tables.")
-    Term.(term_result (const run $ quick $ names))
+    Term.(term_result (const run $ quick $ json_arg $ names))
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -231,16 +258,31 @@ let cosim_cmd =
   let items =
     Arg.(value & opt int 16 & info [ "items" ] ~docv:"N" ~doc:"Stream length.")
   in
-  let run level items =
-    let m = Cosim.run_echo_system ~level ~items () in
-    Printf.printf
-      "%s: checksum %d, %d simulated cycles, %d kernel events, %d bus ops\n"
-      (Cosim.level_name m.Cosim.level)
-      m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events m.Cosim.bus_ops
+  let run level items json =
+    let m, wall_s = Obs.Clock.time (fun () -> Cosim.run_echo_system ~level ~items ()) in
+    if json then
+      print_endline
+        (Obs.Json.to_string ~pretty:true
+           (Obs.Json.Obj
+              [
+                ("level", Obs.Json.Str (Cosim.level_name m.Cosim.level));
+                ("items", Obs.Json.Int items);
+                ("wall_s", Obs.Json.Float wall_s);
+                ("checksum", Obs.Json.Int m.Cosim.checksum);
+                ("sim_cycles", Obs.Json.Int m.Cosim.sim_cycles);
+                ("events", Obs.Json.Int m.Cosim.events);
+                ("activations", Obs.Json.Int m.Cosim.activations);
+                ("bus_ops", Obs.Json.Int m.Cosim.bus_ops);
+              ]))
+    else
+      Printf.printf
+        "%s: checksum %d, %d simulated cycles, %d kernel events, %d bus ops\n"
+        (Cosim.level_name m.Cosim.level)
+        m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events m.Cosim.bus_ops
   in
   Cmd.v
     (Cmd.info "cosim" ~doc:"Co-simulate the echo system at a given level.")
-    Term.(const run $ level $ items)
+    Term.(const run $ level $ items $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)

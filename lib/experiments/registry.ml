@@ -1,0 +1,50 @@
+(** The canonical index of every reproduction experiment.
+
+    One list shared by the bench harness, the CLI and the test suite, so
+    "the eleven experiments" is defined in exactly one place.  Each entry
+    carries the paper-facing id used in tables and [BENCH_results.json]
+    ("EXP-1".."EXP-10", "EXP-A") and the short CLI spelling
+    ("exp1".."exp10", "expA").
+
+    Every [run] closure is self-contained — it builds its own workloads
+    and simulation kernels and touches no shared mutable state — so
+    entries may safely run concurrently on separate domains. *)
+
+type entry = {
+  exp_id : string;  (** "EXP-1" .. "EXP-10", "EXP-A" *)
+  cli_name : string;  (** "exp1" .. "exp10", "expA" *)
+  run : quick:bool -> unit -> string;  (** renders the experiment table *)
+}
+
+let all =
+  [
+    { exp_id = "EXP-1"; cli_name = "exp1";
+      run = (fun ~quick () -> Exp_fig1.run ~quick ()) };
+    { exp_id = "EXP-2"; cli_name = "exp2";
+      run = (fun ~quick () -> Exp_fig2.run ~quick ()) };
+    { exp_id = "EXP-3"; cli_name = "exp3";
+      run = (fun ~quick () -> Exp_fig3.run ~quick ()) };
+    { exp_id = "EXP-4"; cli_name = "exp4";
+      run = (fun ~quick () -> Exp_fig4.run ~quick ()) };
+    { exp_id = "EXP-5"; cli_name = "exp5";
+      run = (fun ~quick () -> Exp_fig5.run ~quick ()) };
+    { exp_id = "EXP-6"; cli_name = "exp6";
+      run = (fun ~quick () -> Exp_fig6.run ~quick ()) };
+    { exp_id = "EXP-7"; cli_name = "exp7";
+      run = (fun ~quick () -> Exp_fig7.run ~quick ()) };
+    { exp_id = "EXP-8"; cli_name = "exp8";
+      run = (fun ~quick () -> Exp_fig8.run ~quick ()) };
+    { exp_id = "EXP-9"; cli_name = "exp9";
+      run = (fun ~quick () -> Exp_fig9.run ~quick ()) };
+    { exp_id = "EXP-10"; cli_name = "exp10";
+      run = (fun ~quick () -> Exp_criteria.run ~quick ()) };
+    { exp_id = "EXP-A"; cli_name = "expA";
+      run = (fun ~quick () -> Exp_ablation.run ~quick ()) };
+  ]
+
+let ids = List.map (fun e -> e.exp_id) all
+
+let find name =
+  List.find_opt
+    (fun e -> e.cli_name = name || e.exp_id = name)
+    all

@@ -1,0 +1,134 @@
+type experiment = {
+  name : string;
+  wall_s : float;
+  events : int;
+  activations : int;
+  scheduled : int;
+  kernels : int;
+  table_checksum : string;
+}
+
+type micro = { m_name : string; ns_per_run : float }
+
+type t = {
+  schema_version : int;
+  mode : string;
+  domains : int;
+  tables_wall_s : float;
+  experiments : experiment list;
+  microbenchmarks : micro list;
+}
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+
+let experiment_to_json (e : experiment) =
+  Json.Obj
+    [
+      ("name", Json.Str e.name);
+      ("wall_s", Json.Float e.wall_s);
+      ("events", Json.Int e.events);
+      ("activations", Json.Int e.activations);
+      ("scheduled", Json.Int e.scheduled);
+      ("kernels", Json.Int e.kernels);
+      ("table_checksum", Json.Str e.table_checksum);
+    ]
+
+let micro_to_json (m : micro) =
+  Json.Obj
+    [ ("name", Json.Str m.m_name); ("ns_per_run", Json.Float m.ns_per_run) ]
+
+let to_json (r : t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int r.schema_version);
+      ("mode", Json.Str r.mode);
+      ("domains", Json.Int r.domains);
+      ("tables_wall_s", Json.Float r.tables_wall_s);
+      ("experiments", Json.List (List.map experiment_to_json r.experiments));
+      ( "microbenchmarks",
+        Json.List (List.map micro_to_json r.microbenchmarks) );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* validating reader                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let experiment_of_json j =
+  let* name = field "name" Json.to_str j in
+  let* wall_s = field "wall_s" Json.to_float j in
+  let* events = field "events" Json.to_int j in
+  let* activations = field "activations" Json.to_int j in
+  let* scheduled = field "scheduled" Json.to_int j in
+  let* kernels = field "kernels" Json.to_int j in
+  let* table_checksum = field "table_checksum" Json.to_str j in
+  Ok { name; wall_s; events; activations; scheduled; kernels; table_checksum }
+
+let micro_of_json j =
+  let* m_name = field "name" Json.to_str j in
+  let* ns_per_run = field "ns_per_run" Json.to_float j in
+  Ok { m_name; ns_per_run }
+
+let all_of conv items =
+  List.fold_right
+    (fun item acc ->
+      let* tail = acc in
+      let* head = conv item in
+      Ok (head :: tail))
+    items (Ok [])
+
+let of_json j =
+  let* version = field "schema_version" Json.to_int j in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported schema_version %d" version)
+  else
+    let* mode = field "mode" Json.to_str j in
+    let* domains = field "domains" Json.to_int j in
+    let* tables_wall_s = field "tables_wall_s" Json.to_float j in
+    let* exps = field "experiments" Json.to_list j in
+    let* experiments = all_of experiment_of_json exps in
+    let* micros = field "microbenchmarks" Json.to_list j in
+    let* microbenchmarks = all_of micro_of_json micros in
+    Ok
+      {
+        schema_version = version;
+        mode;
+        domains;
+        tables_wall_s;
+        experiments;
+        microbenchmarks;
+      }
+
+(* ------------------------------------------------------------------ *)
+
+let write ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (to_json r));
+      output_char oc '\n')
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.parse text with
+      | Error e -> Error e
+      | Ok j -> of_json j)

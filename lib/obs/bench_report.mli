@@ -1,0 +1,46 @@
+(** The machine-readable benchmark artifact ([BENCH_results.json]).
+
+    One record per harness run: per-experiment wall time and simulation
+    counters (from {!Codesign_sim.Kernel.domain_totals} deltas), plus
+    Bechamel ns/run estimates when the microbenchmark phase ran.  The
+    schema is versioned so downstream perf-trajectory tooling can evolve
+    with it; {!of_json} validates everything it reads, making the
+    written file round-trippable by construction. *)
+
+type experiment = {
+  name : string;  (** "EXP-1" .. "EXP-10", "EXP-A" *)
+  wall_s : float;  (** host wall-clock seconds for the table *)
+  events : int;  (** kernel events dispatched by this experiment *)
+  activations : int;  (** process activations *)
+  scheduled : int;  (** events pushed *)
+  kernels : int;  (** simulation kernels created *)
+  table_checksum : string;  (** {!Checksum.of_string} of the table text *)
+}
+
+type micro = {
+  m_name : string;  (** Bechamel test name, e.g. "codesign/iss/fir-kernel" *)
+  ns_per_run : float;  (** OLS estimate, monotonic clock *)
+}
+
+type t = {
+  schema_version : int;  (** currently {!schema_version} *)
+  mode : string;  (** "quick" or "full" problem sizes *)
+  domains : int;  (** worker-domain pool size used for the tables *)
+  tables_wall_s : float;  (** wall seconds for the whole tables phase *)
+  experiments : experiment list;
+  microbenchmarks : micro list;  (** empty when the phase was skipped *)
+}
+
+val schema_version : int
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Validates field presence and types; unknown fields are ignored
+    (forward compatibility). *)
+
+val write : path:string -> t -> unit
+(** Pretty-printed, trailing newline, atomic enough for a bench
+    artifact (plain create-and-rename-free write). *)
+
+val read : path:string -> (t, string) result

@@ -1,0 +1,14 @@
+(** Stable content checksums for regression tracking.
+
+    FNV-1a (64-bit): not cryptographic, but deterministic across runs,
+    OCaml versions and platforms — unlike [Hashtbl.hash] — which is what
+    a perf-trajectory artifact needs so table drift is detectable by
+    diffing two [BENCH_results.json] files. *)
+
+val fnv1a64 : string -> int64
+
+val hex : int64 -> string
+(** 16 lowercase hex digits. *)
+
+val of_string : string -> string
+(** [hex (fnv1a64 s)] — the form stored in benchmark reports. *)

@@ -1,0 +1,9 @@
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_s ~since =
+  Int64.to_float (Int64.sub (now_ns ()) since) /. 1e9
+
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, elapsed_s ~since:t0)

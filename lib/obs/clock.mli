@@ -1,0 +1,18 @@
+(** Monotonic wall-clock timing for the measurement layer.
+
+    Backed by [CLOCK_MONOTONIC] (via the bechamel C stub already baked
+    into the toolchain), so measurements are immune to NTP steps and
+    comparable with the Bechamel ns/run estimates reported alongside
+    them.  Simulated time never touches this module — the kernel remains
+    bit-reproducible; this clock only measures the host. *)
+
+val now_ns : unit -> int64
+(** Monotonic timestamp in nanoseconds (epoch unspecified; only
+    differences are meaningful). *)
+
+val elapsed_s : since:int64 -> float
+(** Seconds elapsed since a {!now_ns} mark. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the wall seconds it
+    took. *)

@@ -1,0 +1,38 @@
+(** A dependency-free JSON tree: emitter and parser.
+
+    Exists so the measurement layer can write machine-readable artifacts
+    ([BENCH_results.json], [--json] CLI output) without pulling a JSON
+    package into the build.  Covers the whole of RFC 8259 except that
+    emitted numbers are OCaml [int]/[float] (no bignums), and non-finite
+    floats are rejected at emission — benchmark data must be
+    serialisable losslessly or not at all. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialise.  [pretty] (default [false]) adds newlines and two-space
+    indentation.  @raise Invalid_argument on NaN or infinite floats. *)
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document (trailing whitespace allowed; any
+    other trailing input is an error).  Integral number literals without
+    ['.'], ['e'] or ['E'] become {!Int}; everything else {!Float}. *)
+
+(** {2 Accessors} — each returns [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+(** Field of an {!Obj} ([None] for missing field or non-object). *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** {!Int} values are accepted and converted by [to_float]. *)
+
+val to_str : t -> string option
+val to_list : t -> t list option

@@ -19,9 +19,39 @@ type t = {
   mutable activations : int;
   mutable spawned : int;
   mutable next_block_id : int;
-  blocked : (int, string) Hashtbl.t;
+  blocked : (int, string * bool) Hashtbl.t;  (** id -> (name, daemon) *)
   mutable tracer : (int -> string -> unit) option;
 }
+
+(* Cumulative per-domain counters across every kernel run in this domain.
+   The bench harness runs one experiment per domain and reads the deltas,
+   so these must be domain-local, not global. *)
+type domain_totals = {
+  d_events : int;
+  d_activations : int;
+  d_scheduled : int;
+  d_kernels : int;
+}
+
+type totals_cell = {
+  mutable c_events : int;
+  mutable c_activations : int;
+  mutable c_scheduled : int;
+  mutable c_kernels : int;
+}
+
+let totals_key =
+  Domain.DLS.new_key (fun () ->
+      { c_events = 0; c_activations = 0; c_scheduled = 0; c_kernels = 0 })
+
+let domain_totals () =
+  let c = Domain.DLS.get totals_key in
+  {
+    d_events = c.c_events;
+    d_activations = c.c_activations;
+    d_scheduled = c.c_scheduled;
+    d_kernels = c.c_kernels;
+  }
 
 type _ Effect.t +=
   | Wait : int -> unit Effect.t
@@ -30,6 +60,8 @@ type _ Effect.t +=
   | Whoami : string Effect.t
 
 let create () =
+  (Domain.DLS.get totals_key).c_kernels <-
+    (Domain.DLS.get totals_key).c_kernels + 1;
   {
     q = Event_queue.create ();
     now = 0;
@@ -49,7 +81,7 @@ let at k ~time thunk =
       (Printf.sprintf "Kernel.at: time %d is in the past (now %d)" time k.now);
   Event_queue.push k.q ~time thunk
 
-let spawn ?(name = "proc") k fn =
+let spawn ?(name = "proc") ?(daemon = false) k fn =
   k.spawned <- k.spawned + 1;
   let handler : (unit, unit) handler =
     {
@@ -79,7 +111,7 @@ let spawn ?(name = "proc") k fn =
                 (fun (cont : (a, unit) continuation) ->
                   let id = k.next_block_id in
                   k.next_block_id <- id + 1;
-                  Hashtbl.replace k.blocked id name;
+                  Hashtbl.replace k.blocked id (name, daemon);
                   let resumed = ref false in
                   register (fun () ->
                       if !resumed then
@@ -115,7 +147,15 @@ let stats k =
     end_time = k.now;
   }
 
+let blocked_non_daemon k =
+  Hashtbl.fold
+    (fun _ (n, daemon) acc -> if daemon then acc else n :: acc)
+    k.blocked []
+
 let run ?until ?(expect_quiescent = false) k =
+  let events0 = k.events
+  and activations0 = k.activations
+  and scheduled0 = Event_queue.pushed_total k.q in
   let stop = ref false in
   while not !stop do
     match Event_queue.peek_time k.q with
@@ -132,19 +172,23 @@ let run ?until ?(expect_quiescent = false) k =
         k.events <- k.events + 1;
         thunk ()
   done;
-  (match until with Some u when u > k.now && Event_queue.is_empty k.q ->
-      k.now <- u
-   | _ -> ());
+  (* With a bound, simulated time always advances to the bound — even
+     when future events remain queued past it — so that repeated bounded
+     runs keep a consistent clock for subsequent [at]/[wait] calls. *)
+  (match until with Some u when u > k.now -> k.now <- u | _ -> ());
+  let totals = Domain.DLS.get totals_key in
+  totals.c_events <- totals.c_events + (k.events - events0);
+  totals.c_activations <- totals.c_activations + (k.activations - activations0);
+  totals.c_scheduled <-
+    totals.c_scheduled + (Event_queue.pushed_total k.q - scheduled0);
+  let stuck = blocked_non_daemon k in
   if
     Event_queue.is_empty k.q
-    && Hashtbl.length k.blocked > 0
+    && stuck <> []
     && (not expect_quiescent)
     && until = None
   then begin
-    let names =
-      Hashtbl.fold (fun _ n acc -> n :: acc) k.blocked []
-      |> List.sort_uniq compare |> String.concat ", "
-    in
+    let names = List.sort_uniq compare stuck |> String.concat ", " in
     raise (Deadlock names)
   end;
   stats k

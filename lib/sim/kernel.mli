@@ -22,9 +22,10 @@ exception Not_in_process
 (** Raised when {!wait} etc. are performed outside a kernel process. *)
 
 exception Deadlock of string
-(** Raised by {!run} when [expect_quiescent] is false and every process
-    is blocked with no pending events (the string lists blocked process
-    names). *)
+(** Raised by {!run} when [expect_quiescent] is false and every
+    non-daemon process is blocked with no pending events (the string
+    lists blocked process names).  Daemon processes (see {!spawn}) never
+    count towards deadlock. *)
 
 type stats = {
   events : int;  (** events dispatched by the wheel *)
@@ -39,10 +40,13 @@ val create : unit -> t
 val now : t -> int
 (** Current simulation time. *)
 
-val spawn : ?name:string -> t -> (unit -> unit) -> unit
+val spawn : ?name:string -> ?daemon:bool -> t -> (unit -> unit) -> unit
 (** Register a process; it first runs when {!run} reaches the current
     time.  A process function returning normally terminates the
-    process. *)
+    process.  A [daemon] process (default [false]) is a background
+    observer — e.g. a {!Vcd} watcher — whose suspensions are excluded
+    from {!Deadlock} detection: a simulation whose only remaining
+    blocked processes are daemons is quiescent, not deadlocked. *)
 
 val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule a bare callback (not a process: it must not block) at an
@@ -50,14 +54,38 @@ val at : t -> time:int -> (unit -> unit) -> unit
 
 val run : ?until:int -> ?expect_quiescent:bool -> t -> stats
 (** Dispatch events until the queue is empty or simulated time would
-    exceed [until].  If processes remain blocked at quiescence and
-    [expect_quiescent] is [false] (the default) and no [until] was given,
-    raises {!Deadlock}; with [expect_quiescent:true] (or an [until]
-    bound) blocked processes are abandoned silently.  Returns run
-    statistics.  [run] may be called again after adding more work. *)
+    exceed [until].  When [until] is given, simulated time always ends
+    at [max now until] — even if undispatched events remain queued past
+    the bound — so repeated bounded runs keep a consistent clock for
+    subsequent {!at}/{!wait} calls.  If non-daemon processes remain
+    blocked at quiescence and [expect_quiescent] is [false] (the
+    default) and no [until] was given, raises {!Deadlock}; with
+    [expect_quiescent:true] (or an [until] bound) blocked processes are
+    abandoned silently.  Returns run statistics.  [run] may be called
+    again after adding more work. *)
 
 val stats : t -> stats
 (** Statistics so far (also valid mid-run, from within a process). *)
+
+(** {2 Per-domain cumulative counters}
+
+    Every {!run} adds its dispatched-event / activation / scheduling
+    counts to counters local to the calling domain, so a measurement
+    layer can attribute simulation work to whatever ran on this domain
+    (the bench harness runs one experiment per domain and reads the
+    deltas) without threading kernel handles through the code under
+    measurement. *)
+
+type domain_totals = {
+  d_events : int;  (** events dispatched by kernels on this domain *)
+  d_activations : int;  (** process resumptions on this domain *)
+  d_scheduled : int;  (** events pushed by runs on this domain *)
+  d_kernels : int;  (** kernels created on this domain *)
+}
+
+val domain_totals : unit -> domain_totals
+(** Cumulative totals for the calling domain (monotonically
+    nondecreasing; snapshot before/after a workload and subtract). *)
 
 (** {2 Blocking primitives (call only inside a process)} *)
 

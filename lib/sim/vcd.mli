@@ -3,9 +3,9 @@
     The standard waveform interchange format, so pin-level co-simulations
     can be inspected with ordinary EDA wave viewers.  A recorder watches
     any number of integer signals; every value change is timestamped
-    with kernel time.  Watching spawns a kernel process per signal, so a
-    simulation with a recorder attached should be run with
-    [expect_quiescent:true] (the watchers never terminate).
+    with kernel time.  Watchers are daemon processes (see
+    {!Kernel.spawn}), so a simulation that ends with only watchers
+    blocked is quiescent — no [expect_quiescent:true] needed.
 
     Typical use:
 
@@ -31,4 +31,8 @@ val changes : t -> (int * string * int) list
 (** Raw records: (time, signal name, new value), in occurrence order. *)
 
 val dump : t -> string
-(** Render the VCD document ([$date]-free, so output is deterministic). *)
+(** Render the VCD document ([$date]-free, so output is deterministic).
+    Each signal's value at watch time appears in an initial
+    [$dumpvars ... $end] section; subsequent changes follow under
+    [#time] markers.  Vector values wider than the declared width are
+    masked to it. *)

@@ -1,0 +1,256 @@
+(* Tests for the codesign_obs measurement library: JSON emit/parse,
+   checksums, and the BENCH_results.json report schema. *)
+
+module Obs = Codesign_obs
+module Json = Codesign_obs.Json
+module Registry = Codesign_experiments.Registry
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* Json                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("flag", Json.Bool true);
+      ("n", Json.Int (-42));
+      ("x", Json.Float 1.5);
+      ("s", Json.Str "quote \" backslash \\ newline \n tab \t done");
+      ("items", Json.List [ Json.Int 1; Json.Int 2; Json.Int 3 ]);
+      ("empty_list", Json.List []);
+      ("empty_obj", Json.Obj []);
+      ("nested", Json.Obj [ ("k", Json.List [ Json.Str "v" ]) ]);
+    ]
+
+let test_json_roundtrip () =
+  match Json.parse (Json.to_string sample) with
+  | Ok v -> if v <> sample then fail "compact round trip changed the value"
+  | Error e -> fail ("compact parse failed: " ^ e)
+
+let test_json_roundtrip_pretty () =
+  match Json.parse (Json.to_string ~pretty:true sample) with
+  | Ok v -> if v <> sample then fail "pretty round trip changed the value"
+  | Error e -> fail ("pretty parse failed: " ^ e)
+
+let test_json_literals () =
+  check Alcotest.string "compact obj" "{\"a\":1,\"b\":[true,null]}"
+    (Json.to_string
+       (Json.Obj
+          [ ("a", Json.Int 1);
+            ("b", Json.List [ Json.Bool true; Json.Null ]) ]));
+  check Alcotest.string "float gets a point" "1.0"
+    (Json.to_string (Json.Float 1.0));
+  check Alcotest.string "control chars escaped" "\"\\u0001\""
+    (Json.to_string (Json.Str "\001"))
+
+let test_json_nonfinite_rejected () =
+  try
+    ignore (Json.to_string (Json.Float Float.nan));
+    fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let test_json_parse_numbers () =
+  (match Json.parse "[0,-7,2.5,1e3,-0.125]" with
+  | Ok
+      (Json.List
+        [ Json.Int 0; Json.Int (-7); Json.Float 2.5; Json.Float 1000.;
+          Json.Float (-0.125) ]) ->
+      ()
+  | Ok _ -> fail "wrong number classification"
+  | Error e -> fail e);
+  match Json.parse "18446744073709551616" with
+  | Error _ -> () (* out of int range: a clean error, not a crash *)
+  | Ok _ -> fail "expected overflow error"
+
+let test_json_parse_escapes () =
+  match Json.parse "\"a\\u0041\\n\\\\\"" with
+  | Ok (Json.Str s) -> check Alcotest.string "unescaped" "aA\n\\" s
+  | Ok _ -> fail "not a string"
+  | Error e -> fail e
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse s with
+    | Error _ -> ()
+    | Ok _ -> fail ("accepted malformed input: " ^ s)
+  in
+  bad "";
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "nul";
+  bad "\"unterminated";
+  bad "42 43" (* trailing input *)
+
+let test_json_accessors () =
+  let j = Json.Obj [ ("a", Json.Int 3); ("b", Json.Str "x") ] in
+  check (Alcotest.option Alcotest.int) "member int" (Some 3)
+    (Option.bind (Json.member "a" j) Json.to_int);
+  check (Alcotest.option Alcotest.string) "member str" (Some "x")
+    (Option.bind (Json.member "b" j) Json.to_str);
+  check (Alcotest.option Alcotest.int) "missing" None
+    (Option.bind (Json.member "zz" j) Json.to_int);
+  check
+    (Alcotest.option (Alcotest.float 1e-9))
+    "int widens to float" (Some 3.0)
+    (Option.bind (Json.member "a" j) Json.to_float)
+
+(* ------------------------------------------------------------------ *)
+(* Checksum                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_checksum_vectors () =
+  (* standard FNV-1a 64 test vectors *)
+  check Alcotest.string "empty" "cbf29ce484222325" (Obs.Checksum.of_string "");
+  check Alcotest.string "a" "af63dc4c8601ec8c" (Obs.Checksum.of_string "a");
+  check Alcotest.string "foobar" "85944171f73967e8"
+    (Obs.Checksum.of_string "foobar")
+
+let test_checksum_distinguishes () =
+  check Alcotest.bool "different tables differ" false
+    (Obs.Checksum.of_string "table v1" = Obs.Checksum.of_string "table v2")
+
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_clock_monotonic () =
+  let a = Obs.Clock.now_ns () in
+  let b = Obs.Clock.now_ns () in
+  check Alcotest.bool "nondecreasing" true (Int64.compare b a >= 0);
+  let (), dt = Obs.Clock.time (fun () -> ignore (Sys.opaque_identity 1)) in
+  check Alcotest.bool "elapsed nonnegative" true (dt >= 0.0)
+
+(* ------------------------------------------------------------------ *)
+(* Bench_report: the BENCH_results.json schema                         *)
+(* ------------------------------------------------------------------ *)
+
+let sample_report () =
+  {
+    Obs.Bench_report.schema_version = Obs.Bench_report.schema_version;
+    mode = "quick";
+    domains = 4;
+    tables_wall_s = 0.25;
+    experiments =
+      List.mapi
+        (fun i id ->
+          {
+            Obs.Bench_report.name = id;
+            wall_s = 0.01 *. float_of_int (i + 1);
+            events = 100 * i;
+            activations = 50 * i;
+            scheduled = 110 * i;
+            kernels = i;
+            table_checksum = Obs.Checksum.of_string id;
+          })
+        Registry.ids;
+    microbenchmarks =
+      [ { Obs.Bench_report.m_name = "codesign/iss/fir-kernel";
+          ns_per_run = 12345.6 } ];
+  }
+
+let test_report_roundtrip () =
+  let r = sample_report () in
+  match Obs.Bench_report.of_json (Obs.Bench_report.to_json r) with
+  | Ok r' -> if r' <> r then fail "report round trip changed the value"
+  | Error e -> fail e
+
+(* The golden test the bench harness's artifact is held to: written with
+   Bench_report.write (the exact code path bench/main.exe uses), the
+   file must parse back and name all eleven experiments. *)
+let test_report_golden_file () =
+  let path = Filename.temp_file "bench_results" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Bench_report.write ~path (sample_report ());
+      match Obs.Bench_report.read ~path with
+      | Error e -> fail ("written artifact does not parse: " ^ e)
+      | Ok r ->
+          let names =
+            List.map (fun e -> e.Obs.Bench_report.name) r.experiments
+          in
+          check (Alcotest.list Alcotest.string) "all eleven experiments"
+            [ "EXP-1"; "EXP-2"; "EXP-3"; "EXP-4"; "EXP-5"; "EXP-6"; "EXP-7";
+              "EXP-8"; "EXP-9"; "EXP-10"; "EXP-A" ]
+            names;
+          check Alcotest.int "schema version" Obs.Bench_report.schema_version
+            r.Obs.Bench_report.schema_version)
+
+let test_report_rejects_bad () =
+  let reject j name =
+    match Obs.Bench_report.of_json j with
+    | Error _ -> ()
+    | Ok _ -> fail ("accepted invalid report: " ^ name)
+  in
+  reject (Json.Obj []) "empty object";
+  reject
+    (Json.Obj [ ("schema_version", Json.Int 999) ])
+    "future schema version";
+  let good = Obs.Bench_report.to_json (sample_report ()) in
+  (match good with
+  | Json.Obj fields ->
+      reject
+        (Json.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "experiments" then
+                  (k, Json.List [ Json.Obj [ ("name", Json.Int 3) ] ])
+                else (k, v))
+              fields))
+        "experiment with wrong field type"
+  | _ -> fail "report did not serialise to an object")
+
+(* The registry itself: eleven entries, unique ids, resolvable by both
+   spellings. *)
+let test_registry_shape () =
+  check Alcotest.int "eleven experiments" 11 (List.length Registry.all);
+  check Alcotest.int "unique ids" 11
+    (List.length (List.sort_uniq compare Registry.ids));
+  (match Registry.find "exp10" with
+  | Some e -> check Alcotest.string "cli name resolves" "EXP-10" e.exp_id
+  | None -> fail "exp10 not found");
+  match Registry.find "EXP-A" with
+  | Some e -> check Alcotest.string "exp id resolves" "expA" e.cli_name
+  | None -> fail "EXP-A not found"
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip compact" `Quick test_json_roundtrip;
+          Alcotest.test_case "round trip pretty" `Quick
+            test_json_roundtrip_pretty;
+          Alcotest.test_case "literal forms" `Quick test_json_literals;
+          Alcotest.test_case "non-finite rejected" `Quick
+            test_json_nonfinite_rejected;
+          Alcotest.test_case "number classification" `Quick
+            test_json_parse_numbers;
+          Alcotest.test_case "string escapes" `Quick test_json_parse_escapes;
+          Alcotest.test_case "malformed inputs" `Quick test_json_parse_errors;
+          Alcotest.test_case "accessors" `Quick test_json_accessors;
+        ] );
+      ( "checksum",
+        [
+          Alcotest.test_case "fnv1a64 vectors" `Quick test_checksum_vectors;
+          Alcotest.test_case "distinguishes" `Quick
+            test_checksum_distinguishes;
+        ] );
+      ( "clock",
+        [ Alcotest.test_case "monotonic" `Quick test_clock_monotonic ] );
+      ( "bench_report",
+        [
+          Alcotest.test_case "round trip" `Quick test_report_roundtrip;
+          Alcotest.test_case "golden file: parses, names all eleven" `Quick
+            test_report_golden_file;
+          Alcotest.test_case "rejects invalid" `Quick test_report_rejects_bad;
+          Alcotest.test_case "registry shape" `Quick test_registry_shape;
+        ] );
+    ]

@@ -100,6 +100,61 @@ let test_vcd_on_pin_bus () =
   check Alcotest.int "req pulses" 2 (rises "!");
   check Alcotest.int "ack pulses" 2 (rises "\"")
 
+let test_vcd_watcher_quiescent_no_deadlock () =
+  (* regression: VCD watchers are daemons, so a simulation that ends
+     quiescent with watchers still blocked must not raise Deadlock even
+     without ~expect_quiescent:true *)
+  let k = K.create () in
+  let s = S.create ~name:"data" k 0 in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:8 s;
+  K.spawn k (fun () ->
+      K.wait 5;
+      S.write s 3);
+  ignore (K.run k);
+  check
+    (Alcotest.list
+       (Alcotest.triple Alcotest.int Alcotest.string Alcotest.int))
+    "changes recorded" [ (0, "data", 0); (5, "data", 3) ]
+    (Vcd.changes vcd)
+
+let test_vcd_dumpvars_initial_values () =
+  (* regression: the dump carries a $dumpvars ... $end section with each
+     signal's value at watch time, so viewers don't show 'x' until the
+     first change *)
+  let k = K.create () in
+  let req = S.create ~name:"req" k 1 in
+  let addr = S.create ~name:"addr" k 0b0110 in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:1 req;
+  Vcd.watch vcd ~width:4 addr;
+  K.spawn k (fun () ->
+      K.wait 2;
+      S.write addr 0b1010);
+  ignore (K.run k);
+  let doc = Vcd.dump vcd in
+  check Alcotest.bool "dumpvars section" true (contains doc "$dumpvars\n");
+  check Alcotest.bool "initial scalar" true (contains doc "$dumpvars\n1!\n");
+  check Alcotest.bool "initial vector" true (contains doc "b0110 \"\n$end\n");
+  (* the change stream starts after the initial section *)
+  check Alcotest.bool "change follows" true (contains doc "#2\nb1010 \"\n")
+
+let test_vcd_wide_value_masked () =
+  (* regression: a value wider than the declared width is masked to the
+     width, not silently rendered wrong *)
+  let k = K.create () in
+  let s = S.create ~name:"nib" k 0 in
+  let vcd = Vcd.create k in
+  Vcd.watch vcd ~width:4 s;
+  K.spawn k (fun () ->
+      K.wait 1;
+      S.write s 0x12 (* 5 bits: only the low nibble 0b0010 fits *));
+  ignore (K.run k);
+  let doc = Vcd.dump vcd in
+  check Alcotest.bool "masked to width" true (contains doc "b0010 !");
+  check Alcotest.bool "no truncated-prefix artifact" false
+    (contains doc "b10010")
+
 (* ------------------------------------------------------------------ *)
 (* Failure injection                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -340,6 +395,12 @@ let () =
             test_vcd_records_changes;
           Alcotest.test_case "dump format" `Quick test_vcd_dump_format;
           Alcotest.test_case "pin bus wires" `Quick test_vcd_on_pin_bus;
+          Alcotest.test_case "watcher quiescent, no deadlock" `Quick
+            test_vcd_watcher_quiescent_no_deadlock;
+          Alcotest.test_case "dumpvars initial values" `Quick
+            test_vcd_dumpvars_initial_values;
+          Alcotest.test_case "wide value masked" `Quick
+            test_vcd_wide_value_masked;
         ] );
       ( "failure_injection",
         [

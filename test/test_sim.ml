@@ -72,6 +72,71 @@ let test_q_stress_sorted () =
   check Alcotest.int "count" 500 (drain 0);
   check Alcotest.int "pushed_total" 500 (Q.pushed_total q)
 
+let test_q_10k_sorted_fifo () =
+  (* 10k pseudo-random pushes pop in nondecreasing time, FIFO among
+     equal timestamps *)
+  let n = 10_000 in
+  let q = Q.create () in
+  let seed = ref 2026 in
+  let next () =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod 97 (* few distinct times -> many same-time collisions *)
+  in
+  let times = Array.init n (fun _ -> next ()) in
+  let popped = ref [] in
+  for i = 0 to n - 1 do
+    Q.push q ~time:times.(i) (fun () -> popped := i :: !popped)
+  done;
+  let rec drain () =
+    match Q.pop q with
+    | None -> ()
+    | Some (t, f) ->
+        f ();
+        (match !popped with
+        | i :: _ -> check Alcotest.int "pop time = push time" times.(i) t
+        | [] -> fail "thunk did not record");
+        drain ()
+  in
+  drain ();
+  let order = List.rev !popped in
+  check Alcotest.int "all popped" n (List.length order);
+  ignore
+    (List.fold_left
+       (fun prev i ->
+         (match prev with
+         | Some j ->
+             if times.(j) > times.(i) then fail "time decreased";
+             if times.(j) = times.(i) && j > i then
+               fail "FIFO violated among equal timestamps"
+         | None -> ());
+         Some i)
+       None order)
+
+let prop_q_sorted_fifo =
+  QCheck.Test.make ~name:"event queue pops sorted, fifo ties" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 200) (int_range 0 20))
+    (fun times ->
+      let q = Q.create () in
+      let popped = ref [] in
+      List.iteri
+        (fun i t -> Q.push q ~time:t (fun () -> popped := (t, i) :: !popped))
+        times;
+      let rec drain () =
+        match Q.pop q with
+        | None -> ()
+        | Some (_, f) ->
+            f ();
+            drain ()
+      in
+      drain ();
+      let l = List.rev !popped in
+      let rec ok = function
+        | (t1, i1) :: ((t2, i2) :: _ as rest) ->
+            (t1 < t2 || (t1 = t2 && i1 < i2)) && ok rest
+        | _ -> true
+      in
+      List.length l = List.length times && ok l)
+
 let test_q_negative () =
   let q = Q.create () in
   try
@@ -238,6 +303,46 @@ let test_kernel_until_idle_time () =
   K.spawn k (fun () -> K.wait 3);
   let st = K.run ~until:50 k in
   check Alcotest.int "advanced to until" 50 st.K.end_time
+
+let test_kernel_until_pending_clock () =
+  (* regression: with future events still queued past the bound, the
+     clock must land exactly on the bound, so that work added between
+     bounded runs is timed from the bound, not from the last event *)
+  let k = K.create () in
+  K.spawn k (fun () -> K.wait 100);
+  let st = K.run ~until:30 k in
+  check Alcotest.int "clock at bound despite queued future" 30 st.K.end_time;
+  check Alcotest.int "now agrees" 30 (K.now k);
+  let fired = ref (-1) in
+  K.spawn k (fun () ->
+      K.wait 5;
+      fired := K.now k);
+  ignore (K.run ~until:60 k);
+  check Alcotest.int "subsequent wait timed from the bound" 35 !fired;
+  (* the original process still completes at its own schedule *)
+  let st3 = K.run ~until:200 k in
+  check Alcotest.int "original event fired on time" 200 st3.K.end_time
+
+let test_kernel_daemon_quiescent () =
+  (* regression: blocked daemon processes do not count as deadlock *)
+  let k = K.create () in
+  K.spawn ~name:"watcher" ~daemon:true k (fun () ->
+      K.suspend ~register:(fun _resume -> ()));
+  K.spawn ~name:"work" k (fun () -> K.wait 5);
+  let st = K.run k in
+  (* no Deadlock raised *)
+  check Alcotest.int "ran to completion" 5 st.K.end_time
+
+let test_kernel_daemon_mixed_deadlock () =
+  (* a stuck non-daemon still deadlocks, and only its name is listed *)
+  let k = K.create () in
+  K.spawn ~name:"watcher" ~daemon:true k (fun () ->
+      K.suspend ~register:(fun _resume -> ()));
+  K.spawn ~name:"stuck" k (fun () -> K.suspend ~register:(fun _resume -> ()));
+  try
+    ignore (K.run k);
+    fail "expected Deadlock"
+  with K.Deadlock names -> check Alcotest.string "names" "stuck" names
 
 (* qcheck: N processes each waiting random deltas always terminate with
    end_time = max total delta. *)
@@ -466,8 +571,11 @@ let () =
           Alcotest.test_case "time order" `Quick test_q_order;
           Alcotest.test_case "stability" `Quick test_q_stability;
           Alcotest.test_case "stress sorted" `Quick test_q_stress_sorted;
+          Alcotest.test_case "10k sorted + fifo ties" `Quick
+            test_q_10k_sorted_fifo;
           Alcotest.test_case "negative time" `Quick test_q_negative;
           Alcotest.test_case "peek/size" `Quick test_q_peek;
+          QCheck_alcotest.to_alcotest prop_q_sorted_fifo;
         ] );
       ( "kernel",
         [
@@ -485,6 +593,12 @@ let () =
           Alcotest.test_case "trace" `Quick test_kernel_trace;
           Alcotest.test_case "until idles clock" `Quick
             test_kernel_until_idle_time;
+          Alcotest.test_case "until with pending future events" `Quick
+            test_kernel_until_pending_clock;
+          Alcotest.test_case "daemon quiescent" `Quick
+            test_kernel_daemon_quiescent;
+          Alcotest.test_case "daemon mixed deadlock" `Quick
+            test_kernel_daemon_mixed_deadlock;
           QCheck_alcotest.to_alcotest prop_kernel_endtime;
         ] );
       ( "signal",
