@@ -1,0 +1,9 @@
+let () =
+  (match Codesign_obs.Json.parse {|"\uZZZZ"|} with
+   | Ok _ -> print_endline "ok"
+   | Error e -> print_endline ("error: " ^ e)
+   | exception e -> print_endline ("EXN: " ^ Printexc.to_string e));
+  (match Codesign_obs.Json.parse {|"😀"|} with
+   | Ok (Str s) -> Printf.printf "surrogate ok, %d bytes\n" (String.length s)
+   | _ -> print_endline "surrogate other"
+   | exception e -> print_endline ("EXN2: " ^ Printexc.to_string e))
