@@ -8,6 +8,7 @@
      cosynth     [options]          heterogeneous multiprocessor synthesis
      asip        KERNEL [options]   instruction-set extension flow
      cosim       [--level L] [--json]  co-simulate the echo system
+     fuzz        [--seed N] [--count N] [--json]  cross-level differential fuzz
      kernels                        list the benchmark kernels
      disasm      KERNEL             show a kernel's compiled assembly      *)
 
@@ -285,6 +286,56 @@ let cosim_cmd =
     Term.(const run $ level $ items $ json_arg)
 
 (* ------------------------------------------------------------------ *)
+(* fuzz                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let fuzz_cmd =
+  let count =
+    Arg.(
+      value & opt int 200
+      & info [ "count" ] ~docv:"N" ~doc:"Number of fuzz cases to run.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Base seed; case $(i) runs from seed $(docv)+$(i).")
+  in
+  let run seed count json =
+    let r = Codesign_fuzz.Fuzz.run ~seed ~count () in
+    let module R = Obs.Fuzz_report in
+    if json then
+      print_endline (Obs.Json.to_string ~pretty:true (R.to_json r))
+    else begin
+      Printf.printf
+        "fuzz: %d cases from seed %d (%d behavior, %d ladder, %d taskgraph; \
+         %d FSMD blocks) in %.2fs\n"
+        r.R.count r.R.seed r.R.behavior_cases r.R.ladder_cases
+        r.R.taskgraph_cases r.R.rtl_blocks r.R.wall_s;
+      List.iter
+        (fun (f : R.failure) ->
+          Printf.printf "FAIL [%s] case seed %d: %s\n" f.R.f_category
+            f.R.f_seed f.R.f_detail;
+          Option.iter
+            (fun p -> Printf.printf "  shrunk counterexample:\n%s\n" p)
+            f.R.f_program)
+        r.R.failures;
+      if r.R.failures = [] then print_endline "all levels agree"
+    end;
+    if r.R.failures = [] then Ok ()
+    else
+      Error
+        (`Msg
+           (Printf.sprintf "%d of %d fuzz cases found disagreements"
+              (List.length r.R.failures) r.R.count))
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the abstraction levels against each other.")
+    Term.(term_result (const run $ seed $ count $ json_arg))
+
+(* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -332,5 +383,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; partition_cmd; cosynth_cmd; asip_cmd; cosim_cmd;
-            kernels_cmd; disasm_cmd;
+            fuzz_cmd; kernels_cmd; disasm_cmd;
           ]))

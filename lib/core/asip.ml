@@ -108,7 +108,11 @@ let rec rewrite_expr pats (e : B.expr) : B.expr =
   let e =
     match e with
     | B.Int _ | B.Var _ -> e
-    | B.Idx (a, i) -> B.Idx (a, rewrite_expr pats i)
+    (* Address computations stay on the base ALU: the extension FUs
+       model datapath operators, and an opaque [Ext] inside an array
+       index defeats the code generator's bounds analysis, forcing a
+       runtime clamp that costs more than the fused op saves. *)
+    | B.Idx (_, _) -> e
     | B.Bin (op, a, b) -> B.Bin (op, rewrite_expr pats a, rewrite_expr pats b)
     | B.Neg a -> B.Neg (rewrite_expr pats a)
     | B.Not a -> B.Not (rewrite_expr pats a)
@@ -129,7 +133,7 @@ let rec rewrite_stmt pats (s : B.stmt) : B.stmt =
   let re = rewrite_expr pats in
   match s with
   | B.Assign (v, e) -> B.Assign (v, re e)
-  | B.Store (a, i, e) -> B.Store (a, re i, re e)
+  | B.Store (a, i, e) -> B.Store (a, i, re e) (* index: see rewrite_expr *)
   | B.If (c, t, f) ->
       B.If (re c, List.map (rewrite_stmt pats) t, List.map (rewrite_stmt pats) f)
   | B.While (c, body, k) -> B.While (re c, List.map (rewrite_stmt pats) body, k)

@@ -1,0 +1,73 @@
+module B = Codesign_ir.Behavior
+module Rng = Codesign_ir.Rng
+module Fuzz_report = Codesign_obs.Fuzz_report
+module Clock = Codesign_obs.Clock
+
+let pp_program p = Format.asprintf "%a" B.pp p
+
+(* Case [i] runs from generator [seed + i]: the whole campaign is one
+   flat space of independently replayable cases. *)
+let dispatch case_seed = case_seed land 15
+
+let run ?(seed = 42) ?(count = 200) ?transform_asm () =
+  let t0 = Clock.now_ns () in
+  let failures = ref [] in
+  let behavior_cases = ref 0
+  and ladder_cases = ref 0
+  and taskgraph_cases = ref 0
+  and rtl_blocks = ref 0 in
+  let fail ~category ~case_seed ?program ?shrunk_stmts detail =
+    failures :=
+      {
+        Fuzz_report.f_category = category;
+        f_seed = case_seed;
+        f_detail = detail;
+        f_program = program;
+        f_shrunk_stmts = shrunk_stmts;
+      }
+      :: !failures
+  in
+  for i = 0 to count - 1 do
+    let case_seed = seed + i in
+    let rng = Rng.create case_seed in
+    match dispatch case_seed with
+    | 0 ->
+        incr ladder_cases;
+        Option.iter
+          (fun d -> fail ~category:"ladder" ~case_seed d)
+          (Diff.check_ladder rng)
+    | 1 | 2 ->
+        incr taskgraph_cases;
+        Option.iter
+          (fun d -> fail ~category:"taskgraph" ~case_seed d)
+          (Diff.check_taskgraph rng)
+    | _ -> (
+        incr behavior_cases;
+        let p = Gen.behavior rng in
+        let check q = Diff.check_behavior ?transform_asm q in
+        let outcome = check p in
+        rtl_blocks := !rtl_blocks + outcome.Diff.rtl_blocks;
+        match outcome.Diff.error with
+        | None -> ()
+        | Some _ ->
+            let keep q = (check q).Diff.error <> None in
+            let small = Diff.normalize (Shrink.minimize ~keep p) in
+            let detail =
+              match (check small).Diff.error with
+              | Some d -> d
+              | None -> "unstable failure: shrunk program agrees"
+            in
+            fail ~category:"behavior" ~case_seed ~program:(pp_program small)
+              ~shrunk_stmts:(B.static_stmts small) detail)
+  done;
+  {
+    Fuzz_report.schema_version = Fuzz_report.schema_version;
+    seed;
+    count;
+    behavior_cases = !behavior_cases;
+    ladder_cases = !ladder_cases;
+    taskgraph_cases = !taskgraph_cases;
+    rtl_blocks = !rtl_blocks;
+    wall_s = Clock.elapsed_s ~since:t0;
+    failures = List.rev !failures;
+  }

@@ -1,0 +1,25 @@
+(** The fuzzing campaign driver.
+
+    {!run} executes [count] cases.  Case [i] derives its own generator
+    from [seed + i], so any failure is replayable in isolation:
+    [run ~seed:(seed + i) ~count:1 ()] regenerates exactly the failing
+    input.  The low bits of the case seed pick the domain — one case in
+    sixteen exercises the echo-system abstraction ladder, two in
+    sixteen the task-graph partitioners, the rest generated behaviours
+    through {!Diff.check_behavior}.
+
+    A disagreeing behaviour is first minimised with {!Shrink.minimize}
+    (keeping the oracle's verdict as the predicate) and reported with
+    its pretty-printed source and shrunk statement count.
+
+    [transform_asm] is threaded through to {!Diff.check_behavior} for
+    bug-injection tests. *)
+
+val run :
+  ?seed:int ->
+  ?count:int ->
+  ?transform_asm:
+    (Codesign_isa.Asm.item list -> Codesign_isa.Asm.item list) ->
+  unit ->
+  Codesign_obs.Fuzz_report.t
+(** Defaults: [seed = 42], [count = 200]. *)

@@ -1,0 +1,148 @@
+module B = Codesign_ir.Behavior
+module Rng = Codesign_ir.Rng
+module Tgff = Codesign_workloads.Tgff
+
+(* Assignable scalar pool.  Induction variables (i/j/k, one per For
+   nesting level) may be assigned with low probability — the reference
+   semantics allow a body to steer its own loop — and while-counter
+   variables (w0..) are never assignment targets, which is what makes
+   every generated While terminate. *)
+let scalars = [ "v0"; "v1"; "v2"; "v3"; "v4"; "v5" ]
+let inductions = [| "i"; "j"; "k" |]
+let max_loop_depth = 3
+let max_expr_depth = 4
+let n_ports = 4
+
+let binops =
+  [
+    B.Add; B.Sub; B.Mul; B.Div; B.Rem; B.And; B.Or; B.Xor; B.Shl; B.Shr;
+    B.Lt; B.Le; B.Eq; B.Ne;
+  ]
+
+let rec expr rng ~vars ~arrays depth =
+  let leaf () =
+    match Rng.int rng 10 with
+    | 0 | 1 | 2 -> B.Int (Rng.int_in rng (-8) 8)
+    | 3 -> B.Int (Rng.pick rng [ -1000000; -31; 0; 1; 2; 31; 1000000 ])
+    | _ -> B.Var (Rng.pick rng vars)
+  in
+  if depth <= 0 then leaf ()
+  else
+    match Rng.int rng 12 with
+    | 0 | 1 -> leaf ()
+    | 2 when arrays <> [] ->
+        let a, _len = Rng.pick rng arrays in
+        (* indices draw from the full expression space: out-of-bounds
+           values exercise the clamp on every level *)
+        B.Idx (a, expr rng ~vars ~arrays (depth - 1))
+    | 2 | 3 -> B.Neg (expr rng ~vars ~arrays (depth - 1))
+    | 4 -> B.Not (expr rng ~vars ~arrays (depth - 1))
+    | _ ->
+        B.Bin
+          ( Rng.pick rng binops,
+            expr rng ~vars ~arrays (depth - 1),
+            expr rng ~vars ~arrays (depth - 1) )
+
+(* A dynamically-computed but small loop bound: mask or modulus keeps
+   the trip count low while still exercising the evaluate-once rule. *)
+let bounded_dynamic_expr rng ~vars ~arrays =
+  let e = expr rng ~vars ~arrays 2 in
+  if Rng.bool rng then B.Bin (B.And, e, B.Int 7)
+  else B.Bin (B.Rem, e, B.Int 5)
+
+let behavior rng =
+  let n_arrays = Rng.int rng 3 in
+  let arrays =
+    List.init n_arrays (fun k ->
+        (Printf.sprintf "a%d" k, Rng.int_in rng 2 8))
+  in
+  let budget = ref (Rng.int_in rng 8 25) in
+  let next_while = ref 0 in
+  let rec stmts rng ~vars ~depth n =
+    if n <= 0 || !budget <= 0 then []
+    else
+      let s = stmt rng ~vars ~depth in
+      s @ stmts rng ~vars ~depth (n - 1)
+  and stmt rng ~vars ~depth =
+    decr budget;
+    let e ?(d = max_expr_depth) () = expr rng ~vars ~arrays d in
+    match Rng.int rng 14 with
+    | 0 | 1 | 2 | 3 ->
+        let target =
+          if Rng.int rng 8 = 0 && depth > 0 then
+            inductions.(Rng.int rng depth) (* steer an enclosing loop *)
+          else Rng.pick rng scalars
+        in
+        [ B.Assign (target, e ()) ]
+    | 4 | 5 when arrays <> [] ->
+        let a, _ = Rng.pick rng arrays in
+        [ B.Store (a, e ~d:2 (), e ()) ]
+    | 4 | 5 -> [ B.Assign (Rng.pick rng scalars, e ()) ]
+    | 6 | 7 ->
+        let nthen = Rng.int_in rng 1 3 and nelse = Rng.int rng 3 in
+        [
+          B.If
+            ( e ~d:3 (),
+              stmts rng ~vars ~depth nthen,
+              stmts rng ~vars ~depth nelse );
+        ]
+    | 8 when depth < max_loop_depth ->
+        let w = Printf.sprintf "w%d" !next_while in
+        incr next_while;
+        let trip = Rng.int_in rng 0 5 in
+        let body = stmts rng ~vars ~depth:(depth + 1) (Rng.int_in rng 1 3) in
+        [
+          B.Assign (w, B.Int 0);
+          B.While
+            ( B.Bin (B.Lt, B.Var w, B.Int trip),
+              body @ [ B.Assign (w, B.Bin (B.Add, B.Var w, B.Int 1)) ],
+              trip );
+        ]
+    | 9 | 10 when depth < max_loop_depth ->
+        let v = inductions.(depth) in
+        let lo = B.Int (Rng.int_in rng (-2) 3) in
+        let hi =
+          if Rng.int rng 3 = 0 then bounded_dynamic_expr rng ~vars ~arrays
+          else B.Int (Rng.int_in rng (-1) 7)
+        in
+        let body =
+          stmts rng ~vars:(v :: vars) ~depth:(depth + 1)
+            (Rng.int_in rng 1 3)
+        in
+        [ B.For (v, lo, hi, body) ]
+    | 11 -> [ B.PortOut (Rng.int rng n_ports, e ()) ]
+    | 12 -> [ B.PortIn (Rng.pick rng scalars, Rng.int rng n_ports) ]
+    | _ -> [ B.Assign (Rng.pick rng scalars, e ()) ]
+  in
+  let body = stmts rng ~vars:scalars ~depth:0 (Rng.int_in rng 3 10) in
+  let draft = { B.name = "fz"; params = []; arrays; results = []; body } in
+  let results = B.vars_of draft in
+  (* stream the results out of port 0 so a pure port trace determines
+     the outcome even where result variables are not observable *)
+  let epilogue = List.map (fun v -> B.PortOut (0, B.Var v)) results in
+  { draft with B.results; body = body @ epilogue }
+
+let echo_params rng =
+  let items = Rng.int_in rng 2 24 in
+  let work = Rng.int_in rng 1 12 in
+  let src_period = Rng.int_in rng 80 400 in
+  let sink_period = Rng.int_in rng 40 200 in
+  (items, work, src_period, sink_period)
+
+let tgff_spec rng =
+  let n_tasks = Rng.int_in rng 4 14 in
+  {
+    Tgff.seed = Rng.int rng 1_000_000;
+    n_tasks;
+    layers = Rng.int_in rng 2 (min 5 n_tasks);
+    edge_prob = 0.3 +. (0.5 *. Rng.float rng);
+    skip_prob = 0.3 *. Rng.float rng;
+    sw_cycles_range =
+      (let lo = Rng.int_in rng 50 500 in
+       (lo, lo + Rng.int_in rng 100 2000));
+    words_range =
+      (let lo = Rng.int_in rng 1 4 in
+       (lo, lo + Rng.int_in rng 0 16));
+    deadline_factor = (if Rng.bool rng then 0.0 else 0.5 +. Rng.float rng);
+    modifiable_prob = 0.4 *. Rng.float rng;
+  }

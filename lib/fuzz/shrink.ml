@@ -1,0 +1,175 @@
+module B = Codesign_ir.Behavior
+
+(* All traversals below visit statements and expression nodes in the
+   same pre-order, so a position computed by flattening the original
+   program addresses the same node during an edit. *)
+
+let rec flat_stmts stmts =
+  List.concat_map
+    (fun s ->
+      s
+      ::
+      (match s with
+      | B.If (_, a, b) -> flat_stmts a @ flat_stmts b
+      | B.While (_, body, _) -> flat_stmts body
+      | B.For (_, _, _, body) -> flat_stmts body
+      | _ -> []))
+    stmts
+
+(* Replace the statement at pre-order position [target] with the
+   statement list [f s]; the replacement's children are not visited. *)
+let rec edit_stmts target counter f stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+      let here = !counter in
+      incr counter;
+      let s' =
+        if here = target then f s
+        else
+          match s with
+          | B.If (c, a, b) ->
+              let a = edit_stmts target counter f a in
+              let b = edit_stmts target counter f b in
+              [ B.If (c, a, b) ]
+          | B.While (c, body, t) ->
+              [ B.While (c, edit_stmts target counter f body, t) ]
+          | B.For (v, lo, hi, body) ->
+              [ B.For (v, lo, hi, edit_stmts target counter f body) ]
+          | s -> [ s ]
+      in
+      s' @ edit_stmts target counter f rest
+
+let rec flat_expr e =
+  e
+  ::
+  (match e with
+  | B.Int _ | B.Var _ -> []
+  | B.Idx (_, i) -> flat_expr i
+  | B.Bin (_, x, y) -> flat_expr x @ flat_expr y
+  | B.Neg x | B.Not x -> flat_expr x
+  | B.Ext (_, a, x, y) -> flat_expr a @ flat_expr x @ flat_expr y)
+
+let rec exprs_of_stmt s =
+  match s with
+  | B.Assign (_, e) | B.PortOut (_, e) | B.Send (_, e) -> [ e ]
+  | B.Store (_, i, v) -> [ i; v ]
+  | B.If (c, a, b) -> (c :: exprs_of_block a) @ exprs_of_block b
+  | B.While (c, body, _) -> c :: exprs_of_block body
+  | B.For (_, lo, hi, body) -> lo :: hi :: exprs_of_block body
+  | B.PortIn _ | B.Recv _ -> []
+
+and exprs_of_block b = List.concat_map exprs_of_stmt b
+
+let rec map_expr target counter repl e =
+  let here = !counter in
+  incr counter;
+  if here = target then repl
+  else
+    match e with
+    | B.Int _ | B.Var _ -> e
+    | B.Idx (a, i) -> B.Idx (a, map_expr target counter repl i)
+    | B.Bin (op, x, y) ->
+        let x = map_expr target counter repl x in
+        let y = map_expr target counter repl y in
+        B.Bin (op, x, y)
+    | B.Neg x -> B.Neg (map_expr target counter repl x)
+    | B.Not x -> B.Not (map_expr target counter repl x)
+    | B.Ext (o, a, x, y) ->
+        let a = map_expr target counter repl a in
+        let x = map_expr target counter repl x in
+        let y = map_expr target counter repl y in
+        B.Ext (o, a, x, y)
+
+(* explicit recursion: the expression counter must advance in program
+   order, which [List.map] does not guarantee *)
+let rec map_block g stmts =
+  match stmts with
+  | [] -> []
+  | s :: rest ->
+      let s = map_stmt g s in
+      s :: map_block g rest
+
+and map_stmt g s =
+  match s with
+  | B.Assign (v, e) -> B.Assign (v, g e)
+  | B.Store (a, i, v) ->
+      let i = g i in
+      let v = g v in
+      B.Store (a, i, v)
+  | B.If (c, a, b) ->
+      let c = g c in
+      let a = map_block g a in
+      let b = map_block g b in
+      B.If (c, a, b)
+  | B.While (c, body, t) ->
+      let c = g c in
+      B.While (c, map_block g body, t)
+  | B.For (v, lo, hi, body) ->
+      let lo = g lo in
+      let hi = g hi in
+      B.For (v, lo, hi, map_block g body)
+  | B.PortOut (p, e) -> B.PortOut (p, g e)
+  | B.Send (c, e) -> B.Send (c, g e)
+  | (B.PortIn _ | B.Recv _) as s -> s
+
+let stmt_variants s =
+  match s with
+  | B.If (_, a, b) -> [ []; a; b ]
+  | B.While (_, body, _) -> [ []; body ]
+  | B.For (_, _, _, body) -> [ []; body ]
+  | _ -> [ [] ]
+
+let expr_choices e =
+  let subs =
+    match e with
+    | B.Int _ | B.Var _ -> []
+    | B.Idx (_, i) -> [ i ]
+    | B.Bin (_, x, y) -> [ x; y ]
+    | B.Neg x | B.Not x -> [ x ]
+    | B.Ext (_, a, x, y) -> [ a; x; y ]
+  in
+  let consts = match e with B.Int _ -> [] | _ -> [ B.Int 0; B.Int 1 ] in
+  List.filter (fun c -> c <> e) (subs @ consts)
+
+let candidates (p : B.proc) : B.proc Seq.t =
+  let stmt_cands =
+    List.to_seq (flat_stmts p.B.body)
+    |> Seq.mapi (fun k s -> (k, s))
+    |> Seq.concat_map (fun (k, s) ->
+           List.to_seq (stmt_variants s)
+           |> Seq.map (fun v ->
+                  let counter = ref 0 in
+                  {
+                    p with
+                    B.body = edit_stmts k counter (fun _ -> v) p.B.body;
+                  }))
+  in
+  let expr_cands =
+    List.to_seq (List.concat_map flat_expr (exprs_of_block p.B.body))
+    |> Seq.mapi (fun j e -> (j, e))
+    |> Seq.concat_map (fun (j, e) ->
+           List.to_seq (expr_choices e)
+           |> Seq.map (fun repl ->
+                  let counter = ref 0 in
+                  { p with B.body = map_block (map_expr j counter repl) p.B.body }))
+  in
+  Seq.append stmt_cands expr_cands
+
+let minimize ?(max_evals = 2000) ~keep p0 =
+  let evals = ref 0 in
+  let keep p =
+    if !evals >= max_evals then false
+    else begin
+      incr evals;
+      keep p
+    end
+  in
+  let rec loop p =
+    if !evals >= max_evals then p
+    else
+      match Seq.find keep (candidates p) with
+      | Some p' -> loop p'
+      | None -> p
+  in
+  loop p0

@@ -1,0 +1,19 @@
+(** Greedy structural minimisation of a disagreeing behaviour.
+
+    {!minimize} repeatedly tries size-reducing edits — deleting a
+    statement, unwrapping a compound statement into one of its arms,
+    replacing an expression by a subexpression or a small constant —
+    and commits the first edit whose result still satisfies [keep]
+    (i.e. still disagrees), restarting from the smaller program.  It
+    stops at a local minimum or after [max_evals] calls to [keep]
+    (default 2000), whichever comes first.
+
+    Every edit strictly reduces a (node count, non-constant leaf)
+    measure, so the process terminates even without the evaluation
+    cap. *)
+
+val minimize :
+  ?max_evals:int ->
+  keep:(Codesign_ir.Behavior.proc -> bool) ->
+  Codesign_ir.Behavior.proc ->
+  Codesign_ir.Behavior.proc

@@ -82,6 +82,16 @@ val null_io : io
 (** Ports read 0, writes and channel traffic are discarded;
     [recv] returns 0. *)
 
+val eval_bin : binop -> int -> int -> int
+(** The reference arithmetic: [Div]/[Rem] by zero yield 0, shift amounts
+    are masked to 5 bits, comparisons yield 0/1.  Exposed so other
+    implementation paths (constant folding in {!Codesign_isa.Codegen},
+    the differential fuzzer oracle) share one definition. *)
+
+val clamp_index : int -> int -> int
+(** [clamp_index len i] clamps [i] into [0, len-1] — the protected-mode
+    array-access rule every execution level implements. *)
+
 val collecting_io : unit -> io * (int * int) list ref
 (** An [io] whose [port_out] appends [(port, value)] to the returned list
     (in program order); other operations behave as {!null_io}. *)

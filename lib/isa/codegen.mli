@@ -14,9 +14,20 @@
       [chan_ports] — in co-simulation these ports are wired to bus
       transactions or kernel channels.
 
-    The compiled code matches {!Codesign_ir.Behavior.run} semantics for programs
-    whose array indices stay in bounds (the interpreter clamps; the
-    machine traps). *)
+    The compiled code matches {!Codesign_ir.Behavior.run} semantics
+    exactly — it is differentially fuzzed against the interpreter (see
+    [lib/fuzz]).  In particular:
+
+    - array indices are clamped into bounds like the interpreter's
+      protected mode: constant indices are clamped at compile time,
+      indices provably in bounds by a small interval analysis compile
+      without overhead, and everything else gets a 2-branch runtime
+      clamp (scratch register r7);
+    - a [For] bound is evaluated once, before the loop (non-constant
+      bounds are hoisted into registers r1-r6, one per nesting level;
+      deeper dynamic-bound nesting is rejected), and the induction
+      variable is written only at the top of iterations that run, so
+      the final increment is not observable after the loop. *)
 
 type layout = {
   base : int;  (** data segment base (word address) *)

@@ -1,0 +1,140 @@
+type failure = {
+  f_category : string;
+  f_seed : int;
+  f_detail : string;
+  f_program : string option;
+  f_shrunk_stmts : int option;
+}
+
+type t = {
+  schema_version : int;
+  seed : int;
+  count : int;
+  behavior_cases : int;
+  ladder_cases : int;
+  taskgraph_cases : int;
+  rtl_blocks : int;
+  wall_s : float;
+  failures : failure list;
+}
+
+let schema_version = 1
+
+(* ------------------------------------------------------------------ *)
+
+let failure_to_json (f : failure) =
+  Json.Obj
+    ([
+       ("category", Json.Str f.f_category);
+       ("seed", Json.Int f.f_seed);
+       ("detail", Json.Str f.f_detail);
+     ]
+    @ (match f.f_program with
+      | Some p -> [ ("program", Json.Str p) ]
+      | None -> [])
+    @
+    match f.f_shrunk_stmts with
+    | Some n -> [ ("shrunk_stmts", Json.Int n) ]
+    | None -> [])
+
+let to_json (r : t) =
+  Json.Obj
+    [
+      ("schema_version", Json.Int r.schema_version);
+      ("seed", Json.Int r.seed);
+      ("count", Json.Int r.count);
+      ("behavior_cases", Json.Int r.behavior_cases);
+      ("ladder_cases", Json.Int r.ladder_cases);
+      ("taskgraph_cases", Json.Int r.taskgraph_cases);
+      ("rtl_blocks", Json.Int r.rtl_blocks);
+      ("wall_s", Json.Float r.wall_s);
+      ("failures", Json.List (List.map failure_to_json r.failures));
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* validating reader                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let opt_field name conv j =
+  match Json.member name j with
+  | None -> Ok None
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok (Some x)
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let failure_of_json j =
+  let* f_category = field "category" Json.to_str j in
+  let* f_seed = field "seed" Json.to_int j in
+  let* f_detail = field "detail" Json.to_str j in
+  let* f_program = opt_field "program" Json.to_str j in
+  let* f_shrunk_stmts = opt_field "shrunk_stmts" Json.to_int j in
+  Ok { f_category; f_seed; f_detail; f_program; f_shrunk_stmts }
+
+let all_of conv items =
+  List.fold_right
+    (fun item acc ->
+      let* tail = acc in
+      let* head = conv item in
+      Ok (head :: tail))
+    items (Ok [])
+
+let of_json j =
+  let* version = field "schema_version" Json.to_int j in
+  if version <> schema_version then
+    Error (Printf.sprintf "unsupported schema_version %d" version)
+  else
+    let* seed = field "seed" Json.to_int j in
+    let* count = field "count" Json.to_int j in
+    let* behavior_cases = field "behavior_cases" Json.to_int j in
+    let* ladder_cases = field "ladder_cases" Json.to_int j in
+    let* taskgraph_cases = field "taskgraph_cases" Json.to_int j in
+    let* rtl_blocks = field "rtl_blocks" Json.to_int j in
+    let* wall_s = field "wall_s" Json.to_float j in
+    let* fs = field "failures" Json.to_list j in
+    let* failures = all_of failure_of_json fs in
+    Ok
+      {
+        schema_version = version;
+        seed;
+        count;
+        behavior_cases;
+        ladder_cases;
+        taskgraph_cases;
+        rtl_blocks;
+        wall_s;
+        failures;
+      }
+
+(* ------------------------------------------------------------------ *)
+
+let write ~path r =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (to_json r));
+      output_char oc '\n')
+
+let read ~path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.parse text with
+      | Error e -> Error e
+      | Ok j -> of_json j)

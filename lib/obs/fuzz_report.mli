@@ -1,0 +1,44 @@
+(** Machine-readable results of a differential-fuzzer run ([lib/fuzz]),
+    following the same schema discipline as {!Bench_report}: a versioned
+    JSON object with a validating reader, so CI can archive failures and
+    a later session can re-shrink a saved counterexample.
+
+    A {!failure} carries everything needed to reproduce: the exact
+    per-case seed (replay with [codesign_cli fuzz --seed <case_seed>
+    --count 1]), the category that failed, a human-readable detail of
+    the first disagreement, and — for behaviour cases — the shrunk
+    counterexample program in {!Codesign_ir.Behavior.pp} concrete
+    syntax. *)
+
+type failure = {
+  f_category : string;  (** "behavior" | "ladder" | "taskgraph" *)
+  f_seed : int;  (** per-case seed: replay with [--seed N --count 1] *)
+  f_detail : string;  (** first disagreement, human-readable *)
+  f_program : string option;  (** shrunk counterexample (behaviour cases) *)
+  f_shrunk_stmts : int option;  (** static statements after shrinking *)
+}
+
+type t = {
+  schema_version : int;
+  seed : int;  (** base seed of the run; case [i] uses [seed + i] *)
+  count : int;
+  behavior_cases : int;
+  ladder_cases : int;
+  taskgraph_cases : int;
+  rtl_blocks : int;  (** FSMD blocks differentially executed *)
+  wall_s : float;
+  failures : failure list;
+}
+
+val schema_version : int
+(** 1. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+(** Validates field presence, types and [schema_version]. *)
+
+val write : path:string -> t -> unit
+(** Pretty-printed JSON, trailing newline. *)
+
+val read : path:string -> (t, string) result

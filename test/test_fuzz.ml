@@ -1,0 +1,223 @@
+(* Tests for the cross-level differential fuzzer (lib/fuzz): a clean
+   campaign over every domain, the bug-injection acceptance check — a
+   deliberately miscompiled branch must be caught and shrunk to a
+   handful of statements — and the shrinker on its own. *)
+
+open Codesign_fuzz
+module B = Codesign_ir.Behavior
+module Rng = Codesign_ir.Rng
+module Isa = Codesign_isa.Isa
+module Asm = Codesign_isa.Asm
+module R = Codesign_obs.Fuzz_report
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* generator                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_gen_deterministic () =
+  let p1 = Gen.behavior (Rng.create 123) in
+  let p2 = Gen.behavior (Rng.create 123) in
+  check Alcotest.bool "equal seeds, equal programs" true (p1 = p2);
+  let p3 = Gen.behavior (Rng.create 124) in
+  check Alcotest.bool "different seeds diverge" true (p1 <> p3)
+
+let test_gen_well_formed () =
+  (* every generated behaviour is well-formed: it either halts inside
+     the oracle's fuel or spins in a steered loop (which the oracle
+     treats as vacuous) — it never raises for unbound arrays or other
+     ill-formedness, and the unbounded cases are a small minority *)
+  let halted = ref 0 in
+  for s = 0 to 199 do
+    let p = Gen.behavior (Rng.create s) in
+    match B.run ~fuel:300_000 p [] with
+    | _ -> incr halted
+    | exception Invalid_argument m ->
+        let fuelled =
+          let needle = "fuel" in
+          let nl = String.length needle and ml = String.length m in
+          let rec at i = i + nl <= ml && (String.sub m i nl = needle || at (i + 1)) in
+          at 0
+        in
+        if not fuelled then fail (Printf.sprintf "seed %d: %s" s m)
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "vast majority halt (%d/200)" !halted)
+    true (!halted >= 180)
+
+(* ------------------------------------------------------------------ *)
+(* the oracle                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_diff_agrees_on_oob () =
+  (* out-of-bounds accesses clamp identically on every level — the
+     divergence class the codegen fix closed *)
+  let p =
+    {
+      B.name = "oob";
+      params = [];
+      arrays = [ ("t", 2) ];
+      results = [ "x" ];
+      body =
+        [
+          B.Store ("t", B.Int 500000, B.Int 7);
+          B.Assign ("x", B.Idx ("t", B.Int (-3)));
+          B.PortOut (0, B.Var "x");
+        ];
+    }
+  in
+  match (Diff.check_behavior p).Diff.error with
+  | None -> ()
+  | Some e -> fail e
+
+let test_diff_ladder_clean () =
+  for s = 0 to 9 do
+    match Diff.check_ladder (Rng.create s) with
+    | None -> ()
+    | Some e -> fail (Printf.sprintf "seed %d: %s" s e)
+  done
+
+let test_trace_checksum () =
+  let c1 = Diff.trace_checksum [ (0, 1); (1, 2) ] [ ("x", 3) ] in
+  let c2 = Diff.trace_checksum [ (0, 1); (1, 2) ] [ ("x", 3) ] in
+  let c3 = Diff.trace_checksum [ (1, 2); (0, 1) ] [ ("x", 3) ] in
+  check Alcotest.string "deterministic" c1 c2;
+  check Alcotest.bool "order-sensitive" true (c1 <> c3)
+
+(* ------------------------------------------------------------------ *)
+(* campaign                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_campaign_clean () =
+  let r = Fuzz.run ~seed:7 ~count:60 () in
+  check Alcotest.int "covers all 60 cases" 60
+    (r.R.behavior_cases + r.R.ladder_cases + r.R.taskgraph_cases);
+  check Alcotest.bool "every domain exercised" true
+    (r.R.behavior_cases > 0 && r.R.ladder_cases > 0
+    && r.R.taskgraph_cases > 0);
+  check Alcotest.bool "rtl blocks executed" true (r.R.rtl_blocks > 0);
+  match r.R.failures with
+  | [] -> ()
+  | f :: _ -> fail (Printf.sprintf "case %d: %s" f.R.f_seed f.R.f_detail)
+
+(* flip the first ge-branch of each compiled program — loop exits and
+   clamps go wrong — and require the oracle to notice and the shrinker
+   to cut a counterexample down to at most ten statements *)
+let flip_first_ge items =
+  let flipped = ref false in
+  List.map
+    (fun it ->
+      match it with
+      | Asm.Ins (Isa.B (Isa.Ge, a, b, l)) when not !flipped ->
+          flipped := true;
+          Asm.Ins (Isa.B (Isa.Lt, a, b, l))
+      | it -> it)
+    items
+
+let test_injected_bug_caught () =
+  let r = Fuzz.run ~seed:42 ~count:48 ~transform_asm:flip_first_ge () in
+  let behaviors =
+    List.filter (fun f -> f.R.f_category = "behavior") r.R.failures
+  in
+  check Alcotest.bool "at least one behavior case caught the bug" true
+    (behaviors <> []);
+  List.iter
+    (fun f ->
+      if f.R.f_program = None || f.R.f_shrunk_stmts = None then
+        fail "behavior failure reported without a shrunk program")
+    behaviors;
+  let smallest =
+    List.fold_left
+      (fun acc f ->
+        match f.R.f_shrunk_stmts with Some n -> min acc n | None -> acc)
+      max_int behaviors
+  in
+  check Alcotest.bool
+    (Printf.sprintf "shrunk to <= 10 statements (got %d)" smallest)
+    true (smallest <= 10)
+
+(* ------------------------------------------------------------------ *)
+(* shrinker                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_shrinker_minimises () =
+  (* keep: the port trace still contains (0, 42); everything else in
+     the program is droppable noise *)
+  let p =
+    {
+      B.name = "big";
+      params = [];
+      arrays = [ ("a0", 4) ];
+      results = [];
+      body =
+        [
+          B.Assign ("v0", B.Int 5);
+          B.For ("i", B.Int 0, B.Int 3,
+                 [ B.Store ("a0", B.Var "i", B.Int 9) ]);
+          B.If
+            ( B.Var "v0",
+              [ B.PortOut (1, B.Var "v0") ],
+              [ B.PortOut (2, B.Int 3) ] );
+          B.PortOut (0, B.Bin (B.Add, B.Int 41, B.Int 1));
+          B.Assign ("v1", B.Idx ("a0", B.Int 2));
+          B.PortOut (3, B.Var "v1");
+        ];
+    }
+  in
+  let keep q =
+    let io, out = B.collecting_io () in
+    match B.run ~io ~fuel:10_000 q [] with
+    | _ -> List.mem (0, 42) (List.rev !out)
+    | exception _ -> false
+  in
+  check Alcotest.bool "original satisfies keep" true (keep p);
+  let small = Shrink.minimize ~keep p in
+  check Alcotest.bool "shrunk still satisfies keep" true (keep small);
+  check Alcotest.bool
+    (Printf.sprintf "minimal (%d stmts)" (B.static_stmts small))
+    true
+    (B.static_stmts small <= 2)
+
+let test_shrinker_respects_eval_cap () =
+  let calls = ref 0 in
+  let p = Gen.behavior (Rng.create 5) in
+  let keep _ =
+    incr calls;
+    false
+  in
+  ignore (Shrink.minimize ~max_evals:25 ~keep p);
+  check Alcotest.bool "capped" true (!calls <= 25)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "codesign_fuzz"
+    [
+      ( "gen",
+        [
+          Alcotest.test_case "deterministic" `Quick test_gen_deterministic;
+          Alcotest.test_case "well-formed" `Quick test_gen_well_formed;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "oob clamps agree" `Quick
+            test_diff_agrees_on_oob;
+          Alcotest.test_case "ladder clean" `Quick test_diff_ladder_clean;
+          Alcotest.test_case "trace checksum" `Quick test_trace_checksum;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "60 cases clean" `Quick test_campaign_clean;
+          Alcotest.test_case "injected codegen bug caught + shrunk" `Quick
+            test_injected_bug_caught;
+        ] );
+      ( "shrink",
+        [
+          Alcotest.test_case "minimises to the kernel" `Quick
+            test_shrinker_minimises;
+          Alcotest.test_case "eval cap" `Quick
+            test_shrinker_respects_eval_cap;
+        ] );
+    ]

@@ -629,6 +629,58 @@ let prop_codegen_matches_interpreter =
       let actual, _ = Codegen.run_compiled proc bindings in
       expected = actual)
 
+(* property: parse ∘ print is the identity on arbitrary item lists with
+   labels interleaved between instructions (not only appended at the
+   end), over every opcode form — all branch conditions, lw/sw offsets,
+   custN — and print is a fixpoint through a second pass *)
+let gen_asm_items : Asm.item list QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg = int_bound 31 in
+  let imm = oneof [ int_range (-1024) 1023; int_range (-100000) 100000 ] in
+  let lab = map (Printf.sprintf "L%d") (int_bound 30) in
+  let aluop =
+    oneofl
+      [ Isa.Add; Isa.Sub; Isa.Mul; Isa.Div; Isa.Rem; Isa.And; Isa.Or;
+        Isa.Xor; Isa.Shl; Isa.Shr; Isa.Slt; Isa.Seq ]
+  in
+  let cond = oneofl [ Isa.Eq; Isa.Ne; Isa.Lt; Isa.Ge ] in
+  let ins =
+    oneof
+      [
+        map3 (fun o (a, b) c -> Isa.Alu (o, a, b, c)) aluop (pair reg reg) reg;
+        map3 (fun o (a, b) i -> Isa.Alui (o, a, b, i)) aluop (pair reg reg)
+          imm;
+        map2 (fun r i -> Isa.Li (r, i)) reg imm;
+        map3 (fun a b i -> Isa.Lw (a, b, i)) reg reg imm;
+        map3 (fun a b i -> Isa.Sw (a, b, i)) reg reg imm;
+        map3 (fun c (a, b) t -> Isa.B (c, a, b, t)) cond (pair reg reg) lab;
+        map (fun t -> Isa.J t) lab;
+        map2 (fun r t -> Isa.Jal (r, t)) reg lab;
+        map (fun r -> Isa.Jr r) reg;
+        map2 (fun r p -> Isa.In (r, p)) reg (int_bound 5000);
+        map2 (fun p r -> Isa.Out (p, r)) (int_bound 5000) reg;
+        map3
+          (fun e (a, b) c -> Isa.Custom (e, a, b, c))
+          (int_bound 2000) (pair reg reg) reg;
+        oneofl [ Isa.Ei; Isa.Di; Isa.Rti; Isa.Nop; Isa.Halt ];
+      ]
+  in
+  list_size (int_range 0 40)
+    (frequency
+       [
+         (1, map (fun l -> Asm.Label l) lab);
+         (5, map (fun i -> Asm.Ins i) ins);
+       ])
+
+let prop_asm_interleaved_roundtrip =
+  QCheck.Test.make ~name:"asm print/parse identity, interleaved labels"
+    ~count:300
+    (QCheck.make ~print:Asm.print gen_asm_items)
+    (fun items ->
+      let printed = Asm.print items in
+      let reparsed = Asm.parse printed in
+      reparsed = items && Asm.print reparsed = printed)
+
 (* ------------------------------------------------------------------ *)
 
 let () =
@@ -643,6 +695,7 @@ let () =
           Alcotest.test_case "parse errors" `Quick test_parse_errors;
           Alcotest.test_case "parse custom/misc" `Quick
             test_parse_custom_and_misc;
+          QCheck_alcotest.to_alcotest prop_asm_interleaved_roundtrip;
         ] );
       ( "cpu",
         [

@@ -205,6 +205,80 @@ let test_report_rejects_bad () =
         "experiment with wrong field type"
   | _ -> fail "report did not serialise to an object")
 
+(* ------------------------------------------------------------------ *)
+(* Fuzz_report: the fuzz --json schema                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sample_fuzz_report () =
+  {
+    Obs.Fuzz_report.schema_version = Obs.Fuzz_report.schema_version;
+    seed = 42;
+    count = 500;
+    behavior_cases = 407;
+    ladder_cases = 31;
+    taskgraph_cases = 62;
+    rtl_blocks = 4542;
+    wall_s = 6.5;
+    failures =
+      [
+        {
+          Obs.Fuzz_report.f_category = "behavior";
+          f_seed = 63;
+          f_detail = "iss results differ";
+          f_program = Some "proc fz() {\n  out(0, 1);\n}";
+          f_shrunk_stmts = Some 1;
+        };
+        {
+          Obs.Fuzz_report.f_category = "ladder";
+          f_seed = 64;
+          f_detail = "checksum differs";
+          f_program = None;
+          f_shrunk_stmts = None;
+        };
+      ];
+  }
+
+let test_fuzz_report_roundtrip () =
+  let r = sample_fuzz_report () in
+  match Obs.Fuzz_report.of_json (Obs.Fuzz_report.to_json r) with
+  | Ok r' -> if r' <> r then fail "fuzz report round trip changed the value"
+  | Error e -> fail e
+
+let test_fuzz_report_file_roundtrip () =
+  let path = Filename.temp_file "fuzz_results" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Fuzz_report.write ~path (sample_fuzz_report ());
+      match Obs.Fuzz_report.read ~path with
+      | Error e -> fail ("written artifact does not parse: " ^ e)
+      | Ok r ->
+          if r <> sample_fuzz_report () then
+            fail "file round trip changed the value")
+
+let test_fuzz_report_rejects_bad () =
+  let reject j name =
+    match Obs.Fuzz_report.of_json j with
+    | Error _ -> ()
+    | Ok _ -> fail ("accepted invalid fuzz report: " ^ name)
+  in
+  reject (Json.Obj []) "empty object";
+  reject
+    (Json.Obj [ ("schema_version", Json.Int 999) ])
+    "future schema version";
+  match Obs.Fuzz_report.to_json (sample_fuzz_report ()) with
+  | Json.Obj fields ->
+      reject
+        (Json.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "failures" then
+                  (k, Json.List [ Json.Obj [ ("category", Json.Int 3) ] ])
+                else (k, v))
+              fields))
+        "failure with wrong field type"
+  | _ -> fail "fuzz report did not serialise to an object"
+
 (* The registry itself: eleven entries, unique ids, resolvable by both
    spellings. *)
 let test_registry_shape () =
@@ -252,5 +326,13 @@ let () =
             test_report_golden_file;
           Alcotest.test_case "rejects invalid" `Quick test_report_rejects_bad;
           Alcotest.test_case "registry shape" `Quick test_registry_shape;
+        ] );
+      ( "fuzz_report",
+        [
+          Alcotest.test_case "round trip" `Quick test_fuzz_report_roundtrip;
+          Alcotest.test_case "file round trip" `Quick
+            test_fuzz_report_file_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick
+            test_fuzz_report_rejects_bad;
         ] );
     ]

@@ -137,6 +137,51 @@ let prop_q_sorted_fifo =
       in
       List.length l = List.length times && ok l)
 
+(* 10k pseudo-random interleaved pushes and pops against a sorted-list
+   model: the pop order is (time, insertion sequence) even while the
+   queue is mutating, not just after a bulk load *)
+let test_q_interleaved_model () =
+  let q = Q.create () in
+  let seed = ref 77 in
+  let next bound =
+    seed := ((!seed * 1103515245) + 12345) land 0x3FFFFFFF;
+    !seed mod bound
+  in
+  let model = ref [] (* (time, seq), sorted with stable ties *) in
+  let insert time s =
+    let rec go = function
+      | (t, s') :: rest when t < time || (t = time && s' < s) ->
+          (t, s') :: go rest
+      | l -> (time, s) :: l
+    in
+    model := go !model
+  in
+  let last = ref (-1, -1) in
+  let seq = ref 0 in
+  for _ = 1 to 10_000 do
+    if next 5 < 3 then begin
+      (* biased towards pushes so the queue keeps a deep backlog *)
+      let time = next 50 in
+      let s = !seq in
+      incr seq;
+      insert time s;
+      Q.push q ~time (fun () -> last := (time, s))
+    end
+    else
+      match (Q.pop q, !model) with
+      | None, [] -> ()
+      | Some (t, f), (mt, ms) :: rest ->
+          model := rest;
+          f ();
+          check
+            (Alcotest.pair Alcotest.int Alcotest.int)
+            "pop matches model" (mt, ms) !last;
+          check Alcotest.int "reported pop time" mt t
+      | Some _, [] -> fail "queue popped but model is empty"
+      | None, _ :: _ -> fail "queue empty but model is not"
+  done;
+  check Alcotest.int "sizes agree" (List.length !model) (Q.size q)
+
 let test_q_negative () =
   let q = Q.create () in
   try
@@ -563,6 +608,36 @@ let prop_chan_transfers_preserve_order =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* Vcd                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* golden test: the exact VCD document for a small two-signal run is
+   committed under test/golden/; any formatting or ordering drift in
+   Vcd.dump shows up as a diff against a file a wave viewer is known to
+   accept *)
+let test_vcd_golden () =
+  let k = K.create () in
+  let vcd = Vcd.create k in
+  let clk = Signal.create ~name:"clk" k 0 in
+  let data = Signal.create ~name:"data" k 0 in
+  Vcd.watch vcd ~width:1 clk;
+  Vcd.watch vcd ~width:8 data;
+  K.spawn k (fun () ->
+      for t = 1 to 4 do
+        K.wait 5;
+        Signal.write clk (t land 1);
+        Signal.write data (t * 3)
+      done);
+  ignore (K.run k);
+  let golden =
+    let ic = open_in_bin "golden/two_signal.vcd" in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check Alcotest.string "vcd dump matches golden" golden (Vcd.dump vcd)
+
 let () =
   Alcotest.run "codesign_sim"
     [
@@ -573,6 +648,8 @@ let () =
           Alcotest.test_case "stress sorted" `Quick test_q_stress_sorted;
           Alcotest.test_case "10k sorted + fifo ties" `Quick
             test_q_10k_sorted_fifo;
+          Alcotest.test_case "10k interleaved push/pop vs model" `Quick
+            test_q_interleaved_model;
           Alcotest.test_case "negative time" `Quick test_q_negative;
           Alcotest.test_case "peek/size" `Quick test_q_peek;
           QCheck_alcotest.to_alcotest prop_q_sorted_fifo;
@@ -614,6 +691,9 @@ let () =
           Alcotest.test_case "multiple waiters fifo" `Quick
             test_signal_multiple_waiters;
         ] );
+      ( "vcd",
+        [ Alcotest.test_case "two-signal golden dump" `Quick test_vcd_golden ]
+      );
       ( "channel",
         [
           Alcotest.test_case "rendezvous" `Quick test_chan_rendezvous;
