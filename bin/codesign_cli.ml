@@ -8,7 +8,10 @@
      cosynth     [options]          heterogeneous multiprocessor synthesis
      asip        KERNEL [options]   instruction-set extension flow
      cosim       [--level L] [--json]  co-simulate the echo system
-     fuzz        [--seed N] [--count N] [--json]  cross-level differential fuzz
+     fuzz        [--seed N] [--count N] [--fault] [--json]
+                                    cross-level differential fuzz
+     fault       [--seed N] [--ops N] [--quick] [--json] [--out FILE]
+                                    deterministic fault-injection campaign
      kernels                        list the benchmark kernels
      disasm      KERNEL             show a kernel's compiled assembly      *)
 
@@ -261,12 +264,18 @@ let cosim_cmd =
   in
   let run level items json =
     let m, wall_s = Obs.Clock.time (fun () -> Cosim.run_echo_system ~level ~items ()) in
+    let outcome_str =
+      match m.Cosim.outcome with
+      | Cosim.Completed -> "completed"
+      | Cosim.Not_halted reason -> "not-halted: " ^ reason
+    in
     if json then
       print_endline
         (Obs.Json.to_string ~pretty:true
            (Obs.Json.Obj
               [
                 ("level", Obs.Json.Str (Cosim.level_name m.Cosim.level));
+                ("outcome", Obs.Json.Str outcome_str);
                 ("items", Obs.Json.Int items);
                 ("wall_s", Obs.Json.Float wall_s);
                 ("checksum", Obs.Json.Int m.Cosim.checksum);
@@ -277,9 +286,11 @@ let cosim_cmd =
               ]))
     else
       Printf.printf
-        "%s: checksum %d, %d simulated cycles, %d kernel events, %d bus ops\n"
+        "%s (%s): checksum %d, %d simulated cycles, %d kernel events, %d bus \
+         ops\n"
         (Cosim.level_name m.Cosim.level)
-        m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events m.Cosim.bus_ops
+        outcome_str m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events
+        m.Cosim.bus_ops
   in
   Cmd.v
     (Cmd.info "cosim" ~doc:"Co-simulate the echo system at a given level.")
@@ -301,17 +312,25 @@ let fuzz_cmd =
       & info [ "seed" ] ~docv:"N"
           ~doc:"Base seed; case $(i) runs from seed $(docv)+$(i).")
   in
-  let run seed count json =
-    let r = Codesign_fuzz.Fuzz.run ~seed ~count () in
+  let fault =
+    Arg.(
+      value & flag
+      & info [ "fault" ]
+          ~doc:
+            "Also fuzz the fault-injection layer (campaign determinism and \
+             faulty-transport delivery oracles).")
+  in
+  let run seed count fault json =
+    let r = Codesign_fuzz.Fuzz.run ~seed ~count ~fault () in
     let module R = Obs.Fuzz_report in
     if json then
       print_endline (Obs.Json.to_string ~pretty:true (R.to_json r))
     else begin
       Printf.printf
-        "fuzz: %d cases from seed %d (%d behavior, %d ladder, %d taskgraph; \
-         %d FSMD blocks) in %.2fs\n"
+        "fuzz: %d cases from seed %d (%d behavior, %d ladder, %d taskgraph, \
+         %d fault; %d FSMD blocks) in %.2fs\n"
         r.R.count r.R.seed r.R.behavior_cases r.R.ladder_cases
-        r.R.taskgraph_cases r.R.rtl_blocks r.R.wall_s;
+        r.R.taskgraph_cases r.R.fault_cases r.R.rtl_blocks r.R.wall_s;
       List.iter
         (fun (f : R.failure) ->
           Printf.printf "FAIL [%s] case seed %d: %s\n" f.R.f_category
@@ -333,7 +352,76 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differentially fuzz the abstraction levels against each other.")
-    Term.(term_result (const run $ seed $ count $ json_arg))
+    Term.(term_result (const run $ seed $ count $ fault $ json_arg))
+
+(* ------------------------------------------------------------------ *)
+(* fault                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let fault_cmd =
+  let module Campaign = Codesign_fault.Campaign in
+  let module FR = Obs.Fault_report in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:
+            "Campaign seed.  The same seed always produces byte-identical \
+             JSON.")
+  in
+  let ops =
+    Arg.(
+      value & opt (some int) None
+      & info [ "ops" ] ~docv:"N"
+          ~doc:"Transfer operations per sweep cell (default 240; 96 quick).")
+  in
+  let quick =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Smaller campaign for CI-speed runs.")
+  in
+  let out =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Also write the JSON report to $(docv) and validate that it \
+             round-trips through the reader.")
+  in
+  let run seed ops quick json out =
+    let ops =
+      match ops with
+      | Some n -> n
+      | None -> if quick then Campaign.quick_ops else Campaign.default_ops
+    in
+    let r = Campaign.run ~seed ~ops () in
+    (match out with
+    | None -> ()
+    | Some file ->
+        FR.write ~path:file r;
+        (match FR.read ~path:file with
+        | Error e ->
+            failwith
+              (Printf.sprintf "fault report in %s failed to parse: %s" file e)
+        | Ok back ->
+            (* compare serialized forms: floats are printed at %.12g, so
+               the parsed tree can differ in bits the printer drops while
+               the canonical text stays identical *)
+            if
+              Obs.Json.to_string (FR.to_json back)
+              <> Obs.Json.to_string (FR.to_json r)
+            then failwith ("fault report did not round-trip through " ^ file)));
+    if json then
+      print_endline (Obs.Json.to_string ~pretty:true (FR.to_json r))
+    else print_string (Codesign_experiments.Exp_fault.render r);
+    Ok ()
+  in
+  Cmd.v
+    (Cmd.info "fault"
+       ~doc:
+         "Run the deterministic fault-injection campaign across the \
+          interface ladder.")
+    Term.(term_result (const run $ seed $ ops $ quick $ json_arg $ out))
 
 (* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)
@@ -383,5 +471,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; partition_cmd; cosynth_cmd; asip_cmd; cosim_cmd;
-            fuzz_cmd; kernels_cmd; disasm_cmd;
+            fuzz_cmd; fault_cmd; kernels_cmd; disasm_cmd;
           ]))

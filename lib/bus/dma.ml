@@ -1,5 +1,7 @@
 module K = Codesign_sim.Kernel
 
+type start_status = Started | Queued | Rejected of string
+
 type job = { src : int; dst : int; len : int }
 
 type t = {
@@ -38,7 +40,9 @@ let create ?irq kernel (bus : Bus.iface) () =
           bus.Bus.bus_write (job.dst + i) v;
           t.words <- t.words + 1
         done;
-        t.busy <- false;
+        (* stay busy while queued descriptors remain: [busy] answers
+           "will a new start be serviced immediately?" *)
+        t.busy <- Codesign_sim.Channel.occupancy t.jobs > 0;
         t.status <- 1;
         t.transfers <- t.transfers + 1;
         (match t.irq with
@@ -50,13 +54,14 @@ let create ?irq kernel (bus : Bus.iface) () =
   t
 
 let start t ~src ~dst ~len =
-  if t.busy then invalid_arg "Dma.start: engine busy";
-  if len < 0 then invalid_arg "Dma.start: negative length";
-  t.busy <- true;
-  t.status <- 0;
-  if not (Codesign_sim.Channel.try_send t.jobs { src; dst; len }) then begin
-    t.busy <- false;
-    invalid_arg "Dma.start: job queue full"
+  if len < 0 then Rejected "negative length"
+  else if not (Codesign_sim.Channel.try_send t.jobs { src; dst; len }) then
+    Rejected "descriptor queue full"
+  else begin
+    let was_busy = t.busy in
+    t.busy <- true;
+    t.status <- 0;
+    if was_busy then Queued else Started
   end
 
 let region ~name ~base t =
@@ -75,7 +80,9 @@ let region ~name ~base t =
     | 2 -> t.len_reg <- v
     | 3 ->
         if v land 1 = 1 then
-          start t ~src:t.src_reg ~dst:t.dst_reg ~len:t.len_reg
+          (* register-level starts have no return channel; a rejected
+             start is simply dropped, as real hardware would *)
+          ignore (start t ~src:t.src_reg ~dst:t.dst_reg ~len:t.len_reg)
     | 4 -> t.status <- 0
     | _ -> ()
   in

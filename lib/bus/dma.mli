@@ -11,6 +11,14 @@
 
 type t
 
+type start_status =
+  | Started  (** engine was idle; the transfer begins immediately *)
+  | Queued  (** engine busy; descriptor accepted into the job queue *)
+  | Rejected of string
+      (** descriptor refused (queue full, negative length); the string
+          says why.  Typed rather than an exception so callers — and
+          fault-injection campaigns — can branch on it. *)
+
 val create :
   ?irq:Interrupt.t * int ->
   Codesign_sim.Kernel.t ->
@@ -24,6 +32,8 @@ val busy : t -> bool
 val transfers_completed : t -> int
 val words_moved : t -> int
 
-val start : t -> src:int -> dst:int -> len:int -> unit
-(** Programmatic start (equivalent to writing the registers).
-    @raise Invalid_argument if already busy or [len < 0]. *)
+val start : t -> src:int -> dst:int -> len:int -> start_status
+(** Programmatic start (equivalent to writing the registers).  If the
+    engine is busy the descriptor is queued (up to the queue depth of
+    4); an over-full queue or a negative length yields [Rejected] —
+    never an exception. *)

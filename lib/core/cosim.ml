@@ -17,8 +17,11 @@ let level_name = function
   | Driver -> "driver call"
   | Message -> "send/receive/wait"
 
+type outcome = Completed | Not_halted of string
+
 type metrics = {
   level : level;
+  outcome : outcome;
   checksum : int;
   sim_cycles : int;
   events : int;
@@ -191,17 +194,25 @@ let run_cpu_level ~level ~items ~work ~src_period ~sink_period =
       done;
       done_at := K.now k);
   let st = K.run ~until:50_000_000 ~expect_quiescent:true k in
-  if Cpu.status cpu <> Cpu.Halted then
-    failwith "Cosim.run_echo_system: CPU did not halt";
+  let outcome =
+    match Cpu.status cpu with
+    | Cpu.Halted -> Completed
+    | Cpu.Running ->
+        Not_halted "timeout: CPU still running at simulation bound"
+    | Cpu.Trapped m -> Not_halted ("trapped: " ^ m)
+  in
   let checksum =
     List.fold_left ( + ) 0 (Device.Stream_sink.accepted sink)
   in
-  (* cross-check against the software's own accumulator *)
-  assert (checksum = Codegen.result lay cpu "sum");
+  (* cross-check against the software's own accumulator (only meaningful
+     once the program ran to completion) *)
+  if outcome = Completed then
+    assert (checksum = Codegen.result lay cpu "sum");
   {
     level;
+    outcome;
     checksum;
-    sim_cycles = !done_at;
+    sim_cycles = (if outcome = Completed then !done_at else K.now k);
     events = st.K.events;
     activations = st.K.activations;
     bus_ops = bus_ops ();
@@ -243,6 +254,7 @@ let run_message_level ~items ~work ~src_period ~sink_period =
   let st = K.run k in
   {
     level = Message;
+    outcome = Completed;
     checksum = !checksum;
     sim_cycles = !done_at;
     events = st.K.events;

@@ -35,9 +35,20 @@ type level = Pin | Transaction | Driver | Message
 
 val level_name : level -> string
 
+type outcome =
+  | Completed
+  | Not_halted of string
+      (** the simulation ran out of its time bound with the CPU still
+          running, or the CPU trapped; the string says which.  A
+          structured outcome rather than an exception so fault-injected
+          and adversarial runs can observe the anomaly as data. *)
+
 type metrics = {
   level : level;
-  checksum : int;  (** functional output (identical across levels) *)
+  outcome : outcome;
+  checksum : int;
+      (** functional output (identical across levels when [Completed];
+          best-effort partial sum otherwise) *)
   sim_cycles : int;  (** simulated completion time *)
   events : int;  (** kernel events dispatched *)
   activations : int;  (** process activations *)

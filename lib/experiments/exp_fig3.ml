@@ -60,7 +60,8 @@ let shape_holds ?(quick = true) () =
   in
   match ms with
   | [ pin; tlm; drv; msg ] ->
-      pin.Cosim.events > tlm.Cosim.events
+      List.for_all (fun m -> m.Cosim.outcome = Cosim.Completed) ms
+      && pin.Cosim.events > tlm.Cosim.events
       && tlm.Cosim.events >= drv.Cosim.events
       && drv.Cosim.events > msg.Cosim.events
       && pin.Cosim.checksum = msg.Cosim.checksum

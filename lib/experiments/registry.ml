@@ -1,10 +1,10 @@
 (** The canonical index of every reproduction experiment.
 
     One list shared by the bench harness, the CLI and the test suite, so
-    "the eleven experiments" is defined in exactly one place.  Each entry
+    "the experiments" is defined in exactly one place.  Each entry
     carries the paper-facing id used in tables and [BENCH_results.json]
-    ("EXP-1".."EXP-10", "EXP-A") and the short CLI spelling
-    ("exp1".."exp10", "expA").
+    ("EXP-1".."EXP-10", "EXP-A", "EXP-F") and the short CLI spelling
+    ("exp1".."exp10", "expA", "expF").
 
     Every [run] closure is self-contained — it builds its own workloads
     and simulation kernels and touches no shared mutable state — so
@@ -40,6 +40,8 @@ let all =
       run = (fun ~quick () -> Exp_criteria.run ~quick ()) };
     { exp_id = "EXP-A"; cli_name = "expA";
       run = (fun ~quick () -> Exp_ablation.run ~quick ()) };
+    { exp_id = "EXP-F"; cli_name = "expF";
+      run = (fun ~quick () -> Exp_fault.run ~quick ()) };
   ]
 
 let ids = List.map (fun e -> e.exp_id) all

@@ -1,0 +1,437 @@
+module K = Codesign_sim.Kernel
+module M = Codesign_bus.Memory_map
+module Bus = Codesign_bus.Bus
+module Interrupt = Codesign_bus.Interrupt
+module N = Codesign_rtl.Netlist
+module L = Codesign_rtl.Logic_sim
+module Cpu = Codesign_isa.Cpu
+module Isa = Codesign_isa.Isa
+module Checksum = Codesign_obs.Checksum
+module FR = Codesign_obs.Fault_report
+
+type mechanism = Pin | Tlm | Token | Degrade
+
+let mechanism_name = function
+  | Pin -> "pin"
+  | Tlm -> "tlm"
+  | Token -> "token"
+  | Degrade -> "degrade"
+
+let mechanisms = [ Pin; Tlm; Token; Degrade ]
+let default_rates = [ 0.02; 0.05; 0.1 ]
+let default_ops = 240
+let quick_ops = 96
+
+(* ------------------------------------------------------------------ *)
+(* the transfer sweep                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let src_base = 0
+let sink_base = 0x1000
+let pattern i = ((i * 37) + 11) land 1023 lor 1
+
+(* tlm retry policy *)
+let retry_budget = 3
+let backoff = 8
+
+(* degrade escalation thresholds *)
+let bite_threshold = 2
+let give_up_threshold = 2
+
+type level = L_pin | L_tlm | L_token
+
+let level_name = function L_pin -> "pin" | L_tlm -> "tlm" | L_token -> "token"
+
+(* One cell, without the cycle-overhead column (that needs the rate-0
+   run of the same mechanism, supplied by the caller). *)
+let raw_cell ~seed ~ops ~rate mechanism : FR.cell =
+  let k = K.create () in
+  let inj = Injector.create ~rate ~seed () in
+  let data = Array.init ops pattern in
+  let map =
+    M.create
+      [
+        M.rom ~name:"src" ~base:src_base data;
+        M.ram ~name:"sink" ~base:sink_base ~size:ops;
+      ]
+  in
+  let uses_pin = mechanism = Pin || mechanism = Degrade in
+  let uses_tlm = mechanism = Tlm || mechanism = Degrade in
+  let uses_token = mechanism = Token || mechanism = Degrade in
+  let fb_pin =
+    if uses_pin then
+      Some (Faulty_bus.create k inj (Bus.pin_iface (Bus.Pin.create k map)))
+    else None
+  in
+  let fb_tlm =
+    if uses_tlm then
+      Some (Faulty_bus.create k inj (Bus.tlm_iface (Bus.Tlm.create k map)))
+    else None
+  in
+  let rel = if uses_token then Some (Faulty_chan.create k inj ()) else None in
+  let wd = Watchdog.create k ~timeout:800 ~on_bite:(fun _ -> ()) in
+  let retries = ref 0 in
+  let give_ups = ref 0 in
+  let faulted = Array.make ops false in
+  let done_at = ref 0 in
+  let level =
+    ref (match mechanism with Pin | Degrade -> L_pin | Tlm -> L_tlm
+         | Token -> L_token)
+  in
+  let pin_op fb i =
+    let v = Faulty_bus.raw_read fb (src_base + i) in
+    Faulty_bus.raw_write fb (sink_base + i) v
+  in
+  let tlm_op fb i =
+    let rec rd n =
+      match Faulty_bus.read fb (src_base + i) with
+      | Ok v -> Some v
+      | Error _ ->
+          if n >= retry_budget then None
+          else begin
+            incr retries;
+            K.wait (backoff * (n + 1));
+            rd (n + 1)
+          end
+    in
+    match rd 0 with
+    | None -> incr give_ups
+    | Some v ->
+        let rec wr n =
+          match Faulty_bus.write fb (sink_base + i) v with
+          | Ok () -> true
+          | Error _ ->
+              if n >= retry_budget then false
+              else begin
+                incr retries;
+                K.wait (backoff * (n + 1));
+                wr (n + 1)
+              end
+        in
+        if not (wr 0) then incr give_ups
+  in
+  let token_op rel i =
+    (* the OS-message rung reads the source functionally: no bus *)
+    let v = M.read map (src_base + i) in
+    if not (Faulty_chan.send rel ~idx:i v) then incr give_ups
+  in
+  (match rel with
+  | None -> ()
+  | Some rel ->
+      K.spawn ~name:"campaign.sink" k (fun () ->
+          let rec loop () =
+            match Faulty_chan.recv rel with
+            | Some (idx, v) ->
+                if idx >= 0 && idx < ops then M.write map (sink_base + idx) v;
+                loop ()
+            | None -> ()
+          in
+          loop ()));
+  K.spawn ~name:"campaign.master" k (fun () ->
+      for i = 0 to ops - 1 do
+        Watchdog.kick wd;
+        let before = Injector.injected inj in
+        (match !level with
+        | L_pin -> pin_op (Option.get fb_pin) i
+        | L_tlm -> tlm_op (Option.get fb_tlm) i
+        | L_token -> token_op (Option.get rel) i);
+        if Injector.injected inj > before then faulted.(i) <- true;
+        if mechanism = Degrade then begin
+          if !level = L_pin && Watchdog.bites wd >= bite_threshold then
+            level := L_tlm
+          else if !level = L_tlm && !give_ups >= give_up_threshold then
+            level := L_token
+        end
+      done;
+      Watchdog.stop wd;
+      (match rel with Some rel -> Faulty_chan.close rel | None -> ());
+      done_at := K.now k);
+  ignore (K.run ~until:200_000_000 ~expect_quiescent:true k);
+  let done_at = if !done_at = 0 then K.now k else !done_at in
+  (* audit: recompute the expected sink image *)
+  let lost = ref 0 in
+  let buf_exp = Buffer.create 256 and buf_got = Buffer.create 256 in
+  for i = 0 to ops - 1 do
+    let got = M.read map (sink_base + i) in
+    Buffer.add_string buf_exp (string_of_int (pattern i));
+    Buffer.add_char buf_exp ',';
+    Buffer.add_string buf_got (string_of_int got);
+    Buffer.add_char buf_got ',';
+    if got <> pattern i then begin
+      incr lost;
+      (* an op the per-op accounting missed is still a faulted op *)
+      faulted.(i) <- true
+    end
+  done;
+  let faulted_ops =
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 faulted
+  in
+  Injector.charge_pending inj ~time:done_at;
+  let injected = Injector.injected inj in
+  let retries =
+    !retries
+    + match rel with Some rel -> Faulty_chan.retransmissions rel | None -> 0
+  in
+  {
+    FR.mechanism = mechanism_name mechanism;
+    rate;
+    ops;
+    faulted_ops;
+    injected;
+    detected = Injector.detected inj;
+    recovered_ops = faulted_ops - !lost;
+    lost_ops = !lost;
+    retries;
+    watchdog_bites = Watchdog.bites wd;
+    degraded_to =
+      (if mechanism = Degrade then Some (level_name !level) else None);
+    sim_cycles = done_at;
+    cycle_overhead = 0.0;
+    recovery_rate =
+      (if faulted_ops = 0 then 1.0
+       else float_of_int (faulted_ops - !lost) /. float_of_int faulted_ops);
+    mean_detect_latency =
+      (if injected = 0 then 0.0
+       else float_of_int (Injector.latency_sum inj) /. float_of_int injected);
+    checksum_ok =
+      Checksum.of_string (Buffer.contents buf_got)
+      = Checksum.of_string (Buffer.contents buf_exp);
+  }
+
+let with_overhead ~baseline (c : FR.cell) =
+  let base = float_of_int baseline.FR.sim_cycles in
+  let overhead =
+    if base <= 0.0 then 0.0
+    else (float_of_int c.FR.sim_cycles -. base) /. base
+  in
+  { c with FR.cycle_overhead = overhead }
+
+let run_cell ~seed ~ops ~rate mechanism =
+  let baseline = raw_cell ~seed ~ops ~rate:0.0 mechanism in
+  with_overhead ~baseline (raw_cell ~seed ~ops ~rate mechanism)
+
+(* ------------------------------------------------------------------ *)
+(* drills                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let drill_memory ~seed : FR.drill list =
+  let words = 64 and steps = 60 and scrub_every = 8 in
+  let golden = Array.init words pattern in
+  (* unprotected: upsets accumulate until the audit *)
+  let inj = Injector.create ~rate:0.25 ~seed () in
+  let arr = Array.init words pattern in
+  for step = 1 to steps do
+    if Injector.fires inj then Faulty_core.mem_flip inj arr ~time:step
+  done;
+  let wrong = ref 0 in
+  Array.iteri (fun i v -> if v <> golden.(i) then incr wrong) arr;
+  let plain_injected = Injector.injected inj in
+  let plain =
+    {
+      FR.d_site = "memory";
+      d_mechanism = "none";
+      d_injected = plain_injected;
+      d_detected = 0;
+      d_recovered = plain_injected - !wrong;
+    }
+  in
+  (* protected: three copies, periodic majority-vote scrub *)
+  let inj = Injector.create ~rate:0.25 ~seed:(seed + 1) () in
+  let a = Array.init words pattern
+  and b = Array.init words pattern
+  and c = Array.init words pattern in
+  for step = 1 to steps do
+    if Injector.fires inj then
+      Faulty_core.mem_flip inj
+        (Codesign_ir.Rng.pick (Injector.shape inj) [ a; b; c ])
+        ~time:step;
+    if step mod scrub_every = 0 then
+      ignore (Faulty_core.scrub3 inj a b c ~time:step)
+  done;
+  ignore (Faulty_core.scrub3 inj a b c ~time:steps);
+  let wrong = ref 0 in
+  Array.iteri (fun i v -> if v <> golden.(i) then incr wrong) a;
+  let tmr_injected = Injector.injected inj in
+  let tmr =
+    {
+      FR.d_site = "memory";
+      d_mechanism = "tmr-scrub";
+      d_injected = tmr_injected;
+      d_detected = Injector.detected inj;
+      d_recovered = tmr_injected - !wrong;
+    }
+  in
+  [ plain; tmr ]
+
+let drill_irq ~seed : FR.drill list =
+  let events = 40 and period = 50 in
+  let k = K.create () in
+  let inj = Injector.create ~rate:0.2 ~seed () in
+  let ic = Interrupt.create () in
+  let fi = Faulty_core.Irq.create k inj ic in
+  let real = ref 0 and handled = ref 0 in
+  let polled = ref 0 and rejected = ref 0 in
+  let dev_done = ref false in
+  K.spawn ~name:"irq.device" k (fun () ->
+      for _ = 1 to events do
+        K.wait period;
+        incr real;
+        (* line 3 carries real events; line 5 has no device behind it *)
+        Faulty_core.Irq.raise_line fi 3;
+        Faulty_core.Irq.tick fi 5
+      done;
+      dev_done := true);
+  K.spawn ~name:"irq.handler" k (fun () ->
+      let rec loop () =
+        K.wait (period / 2);
+        (* validation: an interrupt with no cause behind it is rejected *)
+        if Interrupt.pending ic land (1 lsl 5) <> 0 then begin
+          Interrupt.ack ic 5;
+          incr rejected;
+          Injector.detected_event inj Injector.Irq ~time:(K.now k)
+        end;
+        if Interrupt.pending ic land (1 lsl 3) <> 0 then begin
+          Interrupt.ack ic 3;
+          incr handled
+        end;
+        (* polling fallback: the device's status count says we missed one *)
+        if !real > !handled && Interrupt.pending ic land (1 lsl 3) = 0 then begin
+          incr handled;
+          incr polled;
+          Injector.detected_event inj Injector.Irq ~time:(K.now k)
+        end;
+        if not (!dev_done && !handled >= !real && Interrupt.pending ic = 0)
+        then loop ()
+      in
+      loop ());
+  ignore (K.run ~until:(events * period * 4) ~expect_quiescent:true k);
+  let injected = Injector.injected inj in
+  [
+    {
+      FR.d_site = "irq";
+      d_mechanism = "validate+poll";
+      d_injected = injected;
+      d_detected = Injector.detected inj;
+      d_recovered = min injected (!polled + !rejected);
+    };
+  ]
+
+let drill_cpu ~seed : FR.drill list =
+  (* sum 1..10 into mem[0]: the workload a supervisor re-runs on faults *)
+  let prog : Isa.program =
+    [|
+      Isa.Li (1, 0);
+      Isa.Li (2, 1);
+      Isa.Li (3, 10);
+      Isa.Alu (Isa.Add, 1, 1, 2);
+      Isa.Alui (Isa.Add, 2, 2, 1);
+      Isa.B (Isa.Ge, 3, 2, 3);
+      Isa.Sw (1, 0, 0);
+      Isa.Halt;
+    |]
+  in
+  let expected = 55 in
+  let inj = Injector.create ~rate:0.02 ~seed () in
+  let episodes = 12 and attempt_budget = 5 and step_cap = 2000 in
+  let traps_seen = ref 0 and recovered_events = ref 0 in
+  for _ = 1 to episodes do
+    let before = Injector.injected inj in
+    let rec attempt n =
+      if n >= attempt_budget then false
+      else begin
+        let cpu = Cpu.create ~mem_words:16 prog in
+        let steps = ref 0 in
+        while Cpu.status cpu = Cpu.Running && !steps < step_cap do
+          ignore (Faulty_core.cpu_step inj cpu);
+          incr steps
+        done;
+        match Cpu.status cpu with
+        | Cpu.Halted when Cpu.read_mem cpu 0 = expected -> true
+        | Cpu.Trapped _ ->
+            (* the supervisor observes the trap and re-runs *)
+            incr traps_seen;
+            Injector.detected_event inj Injector.Cpu ~time:(Cpu.cycles cpu);
+            attempt (n + 1)
+        | _ -> attempt (n + 1)
+      end
+    in
+    if attempt 0 then
+      recovered_events := !recovered_events + (Injector.injected inj - before)
+  done;
+  [
+    {
+      FR.d_site = "cpu";
+      d_mechanism = "supervisor-rerun";
+      d_injected = Injector.injected inj;
+      d_detected = !traps_seen;
+      d_recovered = !recovered_events;
+    };
+  ]
+
+let drill_rtl () : FR.drill list =
+  let base = N.decoder ~width:4 ~match_value:9 () in
+  let vectors = 16 in
+  let eval_all n =
+    let sim = L.create n in
+    Array.init vectors (fun v ->
+        List.iteri
+          (fun j (nm, _) -> L.set_input sim nm ((v lsr j) land 1))
+          n.N.inputs;
+        L.eval sim;
+        L.output sim "hit")
+  in
+  let golden = eval_all base in
+  let masked_count n faults =
+    (* count (gate, polarity) stuck-at faults invisible at the outputs *)
+    List.fold_left
+      (fun acc (g, value) ->
+        let out = eval_all (Tmr.stuck_at n ~gate:g ~value) in
+        if out = golden then acc + 1 else acc)
+      0 faults
+  in
+  let faults_of count =
+    List.concat_map
+      (fun g -> [ (g, 0); (g, 1) ])
+      (List.init count (fun g -> g))
+  in
+  let plain_faults = faults_of (N.gate_count base) in
+  let plain_masked = masked_count base plain_faults in
+  let tmr_net = Tmr.triplicate base in
+  let tmr_faults = faults_of (Tmr.replica_gates base) in
+  let tmr_masked = masked_count tmr_net tmr_faults in
+  [
+    {
+      FR.d_site = "rtl";
+      d_mechanism = "none";
+      d_injected = List.length plain_faults;
+      d_detected = List.length plain_faults - plain_masked;
+      d_recovered = plain_masked;
+    };
+    {
+      FR.d_site = "rtl";
+      d_mechanism = "tmr-vote";
+      d_injected = List.length tmr_faults;
+      d_detected = List.length tmr_faults - tmr_masked;
+      d_recovered = tmr_masked;
+    };
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let run ?(seed = 42) ?(ops = default_ops) ?(rates = default_rates) () : FR.t =
+  let cells =
+    List.concat_map
+      (fun mechanism ->
+        let baseline = raw_cell ~seed ~ops ~rate:0.0 mechanism in
+        baseline
+        :: List.map
+             (fun rate ->
+               with_overhead ~baseline (raw_cell ~seed ~ops ~rate mechanism))
+             rates)
+      mechanisms
+  in
+  let drills =
+    drill_memory ~seed @ drill_irq ~seed @ drill_cpu ~seed @ drill_rtl ()
+  in
+  { FR.schema_version = FR.schema_version; seed; ops_per_cell = ops; rates;
+    cells; drills }

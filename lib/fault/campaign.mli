@@ -1,0 +1,58 @@
+(** The fault-injection campaign: sweep fault rate x recovery mechanism
+    over one fixed transfer workload, and drill the remaining injector
+    sites, producing an {!Codesign_obs.Fault_report.t}.
+
+    {b The sweep.}  Each cell moves [ops] words from a source ROM to a
+    sink RAM across a faulty medium, using one rung of the Fig. 3
+    interface ladder and that rung's recovery mechanism:
+
+    - ["pin"]: pin-accurate bus, raw transfers.  No checks exist at this
+      level — corruption is silent, a dropped response hangs the master
+      until a {!Watchdog} bite, and faults surface only in the end-of-run
+      audit.
+    - ["tlm"]: transaction-level bus with parity-checked transfers,
+      read-back-verified writes and bounded retry+backoff
+      ({!Faulty_bus}).  Recovers transients; persistent stuck-at windows
+      outlive the retry budget.
+    - ["token"]: OS-message rung — no bus at all; items travel a
+      stop-and-wait ARQ over a faulty channel ({!Faulty_chan}).
+    - ["degrade"]: the graceful-degradation ladder.  Starts pin-level;
+      repeated watchdog bites escalate to tlm, repeated retry give-ups
+      escalate to token; the report records where it ended up.
+
+    The audit recomputes the expected sink image and scores each cell:
+    recovery rate (faulted ops that still arrived intact), detection
+    latency (injection-to-detection, end-of-run audit charged to
+    whatever no mechanism caught) and cycle overhead versus the same
+    mechanism fault-free.
+
+    {b The drills} cover memory scrubbing ({!Faulty_core.scrub3} vs
+    nothing), interrupt lines (handler validation + polling fallback),
+    CPU faults (supervisor retry on trap / wrong result), and RTL
+    stuck-at faults (every single stuck-at on a TMR replica gate vs the
+    bare netlist, exhaustive over input vectors).
+
+    Everything is a pure function of [seed] and the parameters: no wall
+    clock anywhere, so equal seeds give byte-identical reports. *)
+
+type mechanism = Pin | Tlm | Token | Degrade
+
+val mechanism_name : mechanism -> string
+val mechanisms : mechanism list
+(** In ladder order: [Pin; Tlm; Token; Degrade]. *)
+
+val default_rates : float list
+val default_ops : int
+val quick_ops : int
+
+val run_cell :
+  seed:int -> ops:int -> rate:float -> mechanism ->
+  Codesign_obs.Fault_report.cell
+(** One sweep point ([cycle_overhead] computed against an internal
+    rate-0 run of the same mechanism). *)
+
+val run :
+  ?seed:int -> ?ops:int -> ?rates:float list -> unit ->
+  Codesign_obs.Fault_report.t
+(** The full campaign.  Defaults: [seed = 42], [ops = default_ops],
+    [rates = default_rates]. *)

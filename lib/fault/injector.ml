@@ -1,0 +1,76 @@
+module Rng = Codesign_ir.Rng
+
+type site = Bus | Mem | Irq | Cpu | Chan | Gate
+
+let site_name = function
+  | Bus -> "bus"
+  | Mem -> "memory"
+  | Irq -> "irq"
+  | Cpu -> "cpu"
+  | Chan -> "channel"
+  | Gate -> "gate"
+
+let site_index = function
+  | Bus -> 0
+  | Mem -> 1
+  | Irq -> 2
+  | Cpu -> 3
+  | Chan -> 4
+  | Gate -> 5
+
+let n_sites = 6
+
+type t = {
+  rng : Rng.t;
+  rate : float;
+  injected_by : int array;
+  (* oldest-first pending injection stamps, one queue per site *)
+  pending_by : int Queue.t array;
+  mutable detected : int;
+  mutable latency_sum : int;
+}
+
+let create ?(rate = 0.0) ~seed () =
+  if not (rate >= 0.0 && rate <= 1.0) then
+    invalid_arg "Injector.create: rate must be within [0, 1]";
+  {
+    rng = Rng.create seed;
+    rate;
+    injected_by = Array.make n_sites 0;
+    pending_by = Array.init n_sites (fun _ -> Queue.create ());
+    detected = 0;
+    latency_sum = 0;
+  }
+
+let rate t = t.rate
+let fires t = Rng.float t.rng < t.rate
+let shape t = t.rng
+
+let injected_event t site ~time =
+  let i = site_index site in
+  t.injected_by.(i) <- t.injected_by.(i) + 1;
+  Queue.push time t.pending_by.(i)
+
+let detected_event t site ~time =
+  t.detected <- t.detected + 1;
+  let q = t.pending_by.(site_index site) in
+  match Queue.take_opt q with
+  | None -> ()
+  | Some stamp -> t.latency_sum <- t.latency_sum + max 0 (time - stamp)
+
+let injected t = Array.fold_left ( + ) 0 t.injected_by
+let injected_at t site = t.injected_by.(site_index site)
+let detected t = t.detected
+let latency_sum t = t.latency_sum
+
+let pending t =
+  Array.fold_left (fun acc q -> acc + Queue.length q) 0 t.pending_by
+
+let charge_pending t ~time =
+  Array.iter
+    (fun q ->
+      Queue.iter
+        (fun stamp -> t.latency_sum <- t.latency_sum + max 0 (time - stamp))
+        q;
+      Queue.clear q)
+    t.pending_by

@@ -1,0 +1,23 @@
+(** Fault-mode oracles for the differential fuzzer ([lib/fuzz]'s
+    [--fault] mode): properties of the fault machinery itself that must
+    hold for {e every} seed.
+
+    {!check_campaign} re-runs one randomly chosen sweep cell twice and
+    checks (a) determinism — identical cells from identical seeds — and
+    (b) the accounting invariants every cell must satisfy (losses never
+    exceed faulted ops, faulted ops never exceed ops, a zero fault rate
+    is loss-free with a clean checksum, rates stay within [0, 1]).
+
+    {!check_transport} is the shrinkable one: it runs a generated
+    behaviour's output trace through the ARQ pipe of {!Faulty_chan}
+    under fault injection and demands the trace arrive intact and in
+    order — the retry budget is sized so the protocol must win at the
+    rates drawn here.  Any divergence is a minimisable counterexample
+    (the behaviour is the shrink candidate). *)
+
+val check_campaign : Codesign_ir.Rng.t -> string option
+(** [None] when all properties hold; [Some detail] otherwise. *)
+
+val check_transport :
+  seed:int -> Codesign_ir.Behavior.proc -> string option
+(** Deterministic in [(seed, proc)]. *)

@@ -1,0 +1,77 @@
+module N = Codesign_rtl.Netlist
+
+let stuck_at (n : N.t) ~gate ~value =
+  if value <> 0 && value <> 1 then
+    invalid_arg "Tmr.stuck_at: value must be 0 or 1";
+  if gate < 0 || gate >= List.length n.gates then
+    invalid_arg "Tmr.stuck_at: gate index out of range";
+  let gates =
+    List.mapi
+      (fun i (g : N.gate) ->
+        if i = gate then { N.kind = N.Buf; inputs = [ value ]; output = g.output }
+        else g)
+      n.gates
+  in
+  let n' = { n with N.gates } in
+  N.validate n';
+  n'
+
+let replica_gates (n : N.t) = 3 * N.gate_count n
+
+let triplicate (n : N.t) =
+  let input_nets = List.map snd n.inputs in
+  let is_shared net = net < 2 || List.mem net input_nets in
+  let counter = ref n.n_nets in
+  let fresh () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  (* per-replica renaming of internal nets; constants and primary
+     inputs are shared across the three copies *)
+  let maps = Array.init 3 (fun _ -> Hashtbl.create 16) in
+  let map r net =
+    if is_shared net then net
+    else
+      match Hashtbl.find_opt maps.(r) net with
+      | Some id -> id
+      | None ->
+          let id = fresh () in
+          Hashtbl.add maps.(r) net id;
+          id
+  in
+  let replica r =
+    List.map
+      (fun (g : N.gate) ->
+        { g with N.inputs = List.map (map r) g.inputs; output = map r g.output })
+      n.gates
+  in
+  (* replica gates first (replica 0, 1, 2, each in original gate order):
+     the ordering contract fault campaigns rely on *)
+  let replicas = replica 0 @ replica 1 @ replica 2 in
+  let voter_gates = ref [] in
+  let emit kind inputs =
+    let out = fresh () in
+    voter_gates := { N.kind; inputs; output = out } :: !voter_gates;
+    out
+  in
+  let vote net =
+    let a = map 0 net and b = map 1 net and c = map 2 net in
+    let ab = emit N.And [ a; b ] in
+    let ac = emit N.And [ a; c ] in
+    let bc = emit N.And [ b; c ] in
+    let o = emit N.Or [ ab; ac ] in
+    emit N.Or [ o; bc ]
+  in
+  let outputs = List.map (fun (name, net) -> (name, vote net)) n.outputs in
+  let t =
+    {
+      N.name = n.name ^ "_tmr";
+      n_nets = !counter;
+      gates = replicas @ List.rev !voter_gates;
+      inputs = n.inputs;
+      outputs;
+    }
+  in
+  N.validate t;
+  t

@@ -1,0 +1,32 @@
+(** Triple modular redundancy for gate-level netlists, plus the
+    stuck-at fault model it exists to mask.
+
+    {!triplicate} builds three replicas of every gate (including state:
+    [Dff]s are replicated, so the three copies hold independent state)
+    sharing the primary inputs, and votes each primary output through a
+    bitwise majority [(a&b) | (a&c) | (b&c)].  Gate ordering contract:
+    the first [3 * gate_count original] gates of the result are the
+    replica gates, replica 0 first, each in the original's gate order;
+    the voter gates follow.  A fault campaign that injects only into the
+    replica region is therefore guaranteed by construction to be masked
+    — the voters themselves are the classic single point of failure and
+    are left out of the protected claim.
+
+    {!stuck_at} is the injection: it rewires one gate's output to a
+    constant (a [Buf] from net 0 or 1), which models a stuck-at-0/1
+    output line while keeping the netlist valid (same driver count, same
+    net ids). *)
+
+val stuck_at : Codesign_rtl.Netlist.t -> gate:int -> value:int -> Codesign_rtl.Netlist.t
+(** [stuck_at n ~gate ~value] replaces gate [gate] (index into
+    [n.gates]) by a buffer driving its output net from const-[value].
+    @raise Invalid_argument if [gate] is out of range or [value] is not
+    0 or 1. *)
+
+val triplicate : Codesign_rtl.Netlist.t -> Codesign_rtl.Netlist.t
+(** The TMR-protected netlist (validated).  Same primary input and
+    output names as the original. *)
+
+val replica_gates : Codesign_rtl.Netlist.t -> int
+(** [3 * gate_count original]: faults injected at gate indices below
+    this bound in [triplicate original] hit a replica, not a voter. *)

@@ -1,0 +1,30 @@
+(** A kernel watchdog timer: the classic last-line-of-defence against a
+    hung interface.
+
+    The supervised workload calls {!kick} at every liveness point (e.g.
+    once per completed bus operation).  If [timeout] simulated cycles
+    pass without a kick, [on_bite] runs once and the watchdog disarms
+    until the next kick — so one hang produces exactly one bite, however
+    long it lasts, and a workload that hangs forever still lets the
+    simulation terminate (the watchdog schedules bare {!Kernel.at}
+    callbacks rather than parking a process, so it never holds the event
+    queue open by itself).
+
+    Stale expiry events are invalidated with a generation counter, the
+    same pattern {!Codesign_bus.Device.Timer} uses. *)
+
+type t
+
+val create :
+  Codesign_sim.Kernel.t -> timeout:int -> on_bite:(t -> unit) -> t
+(** Created disarmed; the first {!kick} arms it.
+    @raise Invalid_argument if [timeout <= 0]. *)
+
+val kick : t -> unit
+(** Feed the dog: (re)arms a fresh [timeout] window. *)
+
+val stop : t -> unit
+(** Disarm; pending expiry events become inert. *)
+
+val bites : t -> int
+(** Expiries so far. *)

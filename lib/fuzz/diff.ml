@@ -306,6 +306,9 @@ let check_ladder rng =
       Some (Printf.sprintf "echo system raised %s %s" (Printexc.to_string e) where)
   | [ pin; tlm; drv; msg ] ->
       let levels = [ pin; tlm; drv; msg ] in
+      let bad_outcome =
+        List.find_opt (fun m -> m.Cosim.outcome <> Cosim.Completed) levels
+      in
       let bad_checksum =
         List.find_opt (fun m -> m.Cosim.checksum <> pin.Cosim.checksum) levels
       in
@@ -326,7 +329,19 @@ let check_ladder rng =
         go l
       in
       let ( <|> ) a b = match a with Some _ -> a | None -> b () in
-      (match bad_checksum with
+      (match bad_outcome with
+      | Some m ->
+          let reason =
+            match m.Cosim.outcome with
+            | Cosim.Not_halted r -> r
+            | Cosim.Completed -> assert false
+          in
+          Some
+            (Printf.sprintf "did not complete at %s: %s %s"
+               (Cosim.level_name m.Cosim.level) reason where)
+      | None -> None)
+      <|> (fun () ->
+      match bad_checksum with
       | Some m ->
           Some
             (Printf.sprintf "checksum differs at %s: %d vs pin %d %s"

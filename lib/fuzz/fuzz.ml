@@ -9,12 +9,13 @@ let pp_program p = Format.asprintf "%a" B.pp p
    flat space of independently replayable cases. *)
 let dispatch case_seed = case_seed land 15
 
-let run ?(seed = 42) ?(count = 200) ?transform_asm () =
+let run ?(seed = 42) ?(count = 200) ?(fault = false) ?transform_asm () =
   let t0 = Clock.now_ns () in
   let failures = ref [] in
   let behavior_cases = ref 0
   and ladder_cases = ref 0
   and taskgraph_cases = ref 0
+  and fault_cases = ref 0
   and rtl_blocks = ref 0 in
   let fail ~category ~case_seed ?program ?shrunk_stmts detail =
     failures :=
@@ -26,6 +27,52 @@ let run ?(seed = 42) ?(count = 200) ?transform_asm () =
         f_shrunk_stmts = shrunk_stmts;
       }
       :: !failures
+  in
+  let behavior_case ~case_seed rng =
+    incr behavior_cases;
+    let p = Gen.behavior rng in
+    let check q = Diff.check_behavior ?transform_asm q in
+    let outcome = check p in
+    rtl_blocks := !rtl_blocks + outcome.Diff.rtl_blocks;
+    match outcome.Diff.error with
+    | None -> ()
+    | Some _ ->
+        let keep q = (check q).Diff.error <> None in
+        let small = Diff.normalize (Shrink.minimize ~keep p) in
+        let detail =
+          match (check small).Diff.error with
+          | Some d -> d
+          | None -> "unstable failure: shrunk program agrees"
+        in
+        fail ~category:"behavior" ~case_seed ~program:(pp_program small)
+          ~shrunk_stmts:(B.static_stmts small) detail
+  in
+  (* Fault mode (off by default): slot 3 checks the fault-campaign
+     machinery's own invariants, slot 4 pushes a generated behaviour's
+     output trace through the fault-injected ARQ transport — a failing
+     transport case shrinks like any behaviour case. *)
+  let fault_campaign_case ~case_seed rng =
+    incr fault_cases;
+    Option.iter
+      (fun d -> fail ~category:"fault" ~case_seed d)
+      (Codesign_fault.Oracle.check_campaign rng)
+  in
+  let fault_transport_case ~case_seed rng =
+    incr fault_cases;
+    let p = Gen.behavior rng in
+    let check q = Codesign_fault.Oracle.check_transport ~seed:case_seed q in
+    match check p with
+    | None -> ()
+    | Some _ ->
+        let keep q = check q <> None in
+        let small = Diff.normalize (Shrink.minimize ~keep p) in
+        let detail =
+          match check small with
+          | Some d -> d
+          | None -> "unstable failure: shrunk program agrees"
+        in
+        fail ~category:"fault" ~case_seed ~program:(pp_program small)
+          ~shrunk_stmts:(B.static_stmts small) detail
   in
   for i = 0 to count - 1 do
     let case_seed = seed + i in
@@ -41,24 +88,9 @@ let run ?(seed = 42) ?(count = 200) ?transform_asm () =
         Option.iter
           (fun d -> fail ~category:"taskgraph" ~case_seed d)
           (Diff.check_taskgraph rng)
-    | _ -> (
-        incr behavior_cases;
-        let p = Gen.behavior rng in
-        let check q = Diff.check_behavior ?transform_asm q in
-        let outcome = check p in
-        rtl_blocks := !rtl_blocks + outcome.Diff.rtl_blocks;
-        match outcome.Diff.error with
-        | None -> ()
-        | Some _ ->
-            let keep q = (check q).Diff.error <> None in
-            let small = Diff.normalize (Shrink.minimize ~keep p) in
-            let detail =
-              match (check small).Diff.error with
-              | Some d -> d
-              | None -> "unstable failure: shrunk program agrees"
-            in
-            fail ~category:"behavior" ~case_seed ~program:(pp_program small)
-              ~shrunk_stmts:(B.static_stmts small) detail)
+    | 3 when fault -> fault_campaign_case ~case_seed rng
+    | 4 when fault -> fault_transport_case ~case_seed rng
+    | _ -> behavior_case ~case_seed rng
   done;
   {
     Fuzz_report.schema_version = Fuzz_report.schema_version;
@@ -67,6 +99,7 @@ let run ?(seed = 42) ?(count = 200) ?transform_asm () =
     behavior_cases = !behavior_cases;
     ladder_cases = !ladder_cases;
     taskgraph_cases = !taskgraph_cases;
+    fault_cases = !fault_cases;
     rtl_blocks = !rtl_blocks;
     wall_s = Clock.elapsed_s ~since:t0;
     failures = List.rev !failures;

@@ -12,14 +12,23 @@
     (keeping the oracle's verdict as the predicate) and reported with
     its pretty-printed source and shrunk statement count.
 
+    [fault] (default off) additionally routes two of the sixteen
+    dispatch slots to the fault-injection oracles of
+    {!Codesign_fault.Oracle}: one checks campaign-cell determinism and
+    accounting invariants, the other pushes a generated behaviour's
+    output trace through the fault-injected ARQ channel transport —
+    and shrinks the behaviour on divergence, so fault-triggered
+    counterexamples minimise exactly like functional ones.
+
     [transform_asm] is threaded through to {!Diff.check_behavior} for
     bug-injection tests. *)
 
 val run :
   ?seed:int ->
   ?count:int ->
+  ?fault:bool ->
   ?transform_asm:
     (Codesign_isa.Asm.item list -> Codesign_isa.Asm.item list) ->
   unit ->
   Codesign_obs.Fuzz_report.t
-(** Defaults: [seed = 42], [count = 200]. *)
+(** Defaults: [seed = 42], [count = 200], [fault = false]. *)

@@ -75,14 +75,18 @@ let reg t r = t.regs.(r)
 
 let set_reg t r v = if r <> 0 then t.regs.(r) <- v
 
+let trap t reason = t.status <- Trapped reason
+
 let read_mem t a =
-  if a < 0 || a >= Array.length t.mem then
-    invalid_arg (Printf.sprintf "Cpu.read_mem: address %d out of range" a)
+  if a < 0 || a >= Array.length t.mem then begin
+    trap t (Printf.sprintf "Cpu.read_mem: address %d out of range" a);
+    0
+  end
   else t.mem.(a)
 
 let write_mem t a v =
   if a < 0 || a >= Array.length t.mem then
-    invalid_arg (Printf.sprintf "Cpu.write_mem: address %d out of range" a)
+    trap t (Printf.sprintf "Cpu.write_mem: address %d out of range" a)
   else t.mem.(a) <- v
 
 let set_irq t level = t.irq_line <- level

@@ -65,8 +65,18 @@ val instret : t -> int
 
 val reg : t -> int -> int
 val set_reg : t -> int -> int -> unit
+
 val read_mem : t -> int -> int
+(** Out-of-range addresses trap the CPU (status becomes [Trapped]) and
+    read as 0 — an anomaly is data for the supervisor, not a host
+    exception. *)
+
 val write_mem : t -> int -> int -> unit
+(** Out-of-range addresses trap the CPU; the write is discarded. *)
+
+val trap : t -> string -> unit
+(** Force [Trapped reason] from outside the core — the hook fault
+    injectors and supervisors use to model spurious traps. *)
 
 val set_irq : t -> bool -> unit
 (** Drive the interrupt request line. *)

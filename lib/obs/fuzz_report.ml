@@ -13,6 +13,7 @@ type t = {
   behavior_cases : int;
   ladder_cases : int;
   taskgraph_cases : int;
+  fault_cases : int;
   rtl_blocks : int;
   wall_s : float;
   failures : failure list;
@@ -46,6 +47,7 @@ let to_json (r : t) =
       ("behavior_cases", Json.Int r.behavior_cases);
       ("ladder_cases", Json.Int r.ladder_cases);
       ("taskgraph_cases", Json.Int r.taskgraph_cases);
+      ("fault_cases", Json.Int r.fault_cases);
       ("rtl_blocks", Json.Int r.rtl_blocks);
       ("wall_s", Json.Float r.wall_s);
       ("failures", Json.List (List.map failure_to_json r.failures));
@@ -99,6 +101,8 @@ let of_json j =
     let* behavior_cases = field "behavior_cases" Json.to_int j in
     let* ladder_cases = field "ladder_cases" Json.to_int j in
     let* taskgraph_cases = field "taskgraph_cases" Json.to_int j in
+    let* fault_cases = opt_field "fault_cases" Json.to_int j in
+    let fault_cases = Option.value fault_cases ~default:0 in
     let* rtl_blocks = field "rtl_blocks" Json.to_int j in
     let* wall_s = field "wall_s" Json.to_float j in
     let* fs = field "failures" Json.to_list j in
@@ -111,6 +115,7 @@ let of_json j =
         behavior_cases;
         ladder_cases;
         taskgraph_cases;
+        fault_cases;
         rtl_blocks;
         wall_s;
         failures;

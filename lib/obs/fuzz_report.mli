@@ -11,7 +11,7 @@
     syntax. *)
 
 type failure = {
-  f_category : string;  (** "behavior" | "ladder" | "taskgraph" *)
+  f_category : string;  (** "behavior" | "ladder" | "taskgraph" | "fault" *)
   f_seed : int;  (** per-case seed: replay with [--seed N --count 1] *)
   f_detail : string;  (** first disagreement, human-readable *)
   f_program : string option;  (** shrunk counterexample (behaviour cases) *)
@@ -25,6 +25,9 @@ type t = {
   behavior_cases : int;
   ladder_cases : int;
   taskgraph_cases : int;
+  fault_cases : int;
+      (** fault-injected oracle cases ([--fault] mode; 0 when the mode
+          is off, and when reading pre-fault-mode report files) *)
   rtl_blocks : int;  (** FSMD blocks differentially executed *)
   wall_s : float;
   failures : failure list;

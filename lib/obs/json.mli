@@ -34,5 +34,7 @@ val to_int : t -> int option
 val to_float : t -> float option
 (** {!Int} values are accepted and converted by [to_float]. *)
 
+val to_bool : t -> bool option
+
 val to_str : t -> string option
 val to_list : t -> t list option

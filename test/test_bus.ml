@@ -343,7 +343,9 @@ let test_dma_transfer () =
   for i = 0 to 7 do
     M.write m (16 + i) (100 + i)
   done;
-  K.spawn k (fun () -> Dma.start dma ~src:16 ~dst:64 ~len:8);
+  K.spawn k (fun () ->
+      check Alcotest.bool "started" true
+        (Dma.start dma ~src:16 ~dst:64 ~len:8 = Dma.Started));
   ignore (K.run ~expect_quiescent:true k);
   for i = 0 to 7 do
     check Alcotest.int (Printf.sprintf "moved %d" i) (100 + i)
@@ -388,19 +390,49 @@ let test_dma_register_window () =
   ignore (K.run ~expect_quiescent:true k);
   check Alcotest.int "moved" 42 (M.read m 20)
 
-let test_dma_busy_rejects () =
+let test_dma_busy_queues () =
   let k = K.create () in
-  let m = M.create [ M.ram ~name:"ram" ~base:0 ~size:64 ] in
+  let m = M.create [ M.ram ~name:"ram" ~base:0 ~size:128 ] in
+  for i = 0 to 7 do
+    M.write m i (i + 1)
+  done;
   let bus = Bus.Tlm.create k m in
   let dma = Dma.create k (Bus.tlm_iface bus) () in
+  let accepted = ref 0 in
   K.spawn k (fun () ->
-      Dma.start dma ~src:0 ~dst:32 ~len:8;
-      (try
-         Dma.start dma ~src:0 ~dst:40 ~len:8;
-         fail "expected busy"
-       with Invalid_argument _ -> ());
-      ());
-  ignore (K.run ~expect_quiescent:true k)
+      check Alcotest.bool "negative len rejected" true
+        (match Dma.start dma ~src:0 ~dst:32 ~len:(-1) with
+        | Dma.Rejected _ -> true
+        | _ -> false);
+      check Alcotest.bool "first starts" true
+        (Dma.start dma ~src:0 ~dst:32 ~len:8 = Dma.Started);
+      incr accepted;
+      (* engine busy: further descriptors queue until the depth-4 job
+         channel fills, then get a typed rejection — never an exception *)
+      let rejected = ref false in
+      for d = 0 to 5 do
+        if not !rejected then
+          match Dma.start dma ~src:0 ~dst:(40 + (8 * !accepted)) ~len:8 with
+          | Dma.Queued -> incr accepted
+          | Dma.Rejected _ -> rejected := true
+          | Dma.Started ->
+              fail (Printf.sprintf "descriptor %d started on busy engine" d)
+      done;
+      check Alcotest.bool "queue eventually fills" true !rejected;
+      check Alcotest.bool "some descriptors queued" true (!accepted >= 4));
+  ignore (K.run ~expect_quiescent:true k);
+  (* every accepted descriptor — started or queued — completes *)
+  check Alcotest.int "transfers" !accepted (Dma.transfers_completed dma);
+  check Alcotest.int "words" (8 * !accepted) (Dma.words_moved dma);
+  for d = 1 to !accepted - 1 do
+    for i = 0 to 7 do
+      check Alcotest.int
+        (Printf.sprintf "queued copy %d word %d" d i)
+        (i + 1)
+        (M.read m (40 + (8 * d) + i))
+    done
+  done;
+  check Alcotest.bool "idle after drain" false (Dma.busy dma)
 
 (* ------------------------------------------------------------------ *)
 (* Interface synthesis                                                 *)
@@ -626,7 +658,8 @@ let () =
           Alcotest.test_case "transfer" `Quick test_dma_transfer;
           Alcotest.test_case "register window" `Quick
             test_dma_register_window;
-          Alcotest.test_case "busy rejects" `Quick test_dma_busy_rejects;
+          Alcotest.test_case "busy queues then rejects" `Quick
+            test_dma_busy_queues;
         ] );
       ( "interface_synth",
         [

@@ -40,6 +40,8 @@ let () =
             (test_run "exp10" (fun ~quick () -> Exp_criteria.run ~quick ()));
           Alcotest.test_case "expA runs" `Quick
             (test_run "expA" (fun ~quick () -> Exp_ablation.run ~quick ()));
+          Alcotest.test_case "expF runs" `Quick
+            (test_run "expF" (fun ~quick () -> Exp_fault.run ~quick ()));
         ] );
       ( "shapes",
         [
@@ -65,5 +67,8 @@ let () =
             (test_shape "exp10" (fun () -> Exp_criteria.shape_holds ()));
           Alcotest.test_case "expA ablation shapes" `Quick
             (test_shape "expA" (fun () -> Exp_ablation.shape_holds ()));
+          Alcotest.test_case "expF recovery strictly improves up the ladder"
+            `Quick
+            (test_shape "expF" (fun () -> Exp_fault.shape_holds ()));
         ] );
     ]

@@ -161,7 +161,7 @@ let test_report_roundtrip () =
 
 (* The golden test the bench harness's artifact is held to: written with
    Bench_report.write (the exact code path bench/main.exe uses), the
-   file must parse back and name all eleven experiments. *)
+   file must parse back and name all twelve experiments. *)
 let test_report_golden_file () =
   let path = Filename.temp_file "bench_results" ".json" in
   Fun.protect
@@ -174,9 +174,9 @@ let test_report_golden_file () =
           let names =
             List.map (fun e -> e.Obs.Bench_report.name) r.experiments
           in
-          check (Alcotest.list Alcotest.string) "all eleven experiments"
+          check (Alcotest.list Alcotest.string) "all twelve experiments"
             [ "EXP-1"; "EXP-2"; "EXP-3"; "EXP-4"; "EXP-5"; "EXP-6"; "EXP-7";
-              "EXP-8"; "EXP-9"; "EXP-10"; "EXP-A" ]
+              "EXP-8"; "EXP-9"; "EXP-10"; "EXP-A"; "EXP-F" ]
             names;
           check Alcotest.int "schema version" Obs.Bench_report.schema_version
             r.Obs.Bench_report.schema_version)
@@ -217,6 +217,7 @@ let sample_fuzz_report () =
     behavior_cases = 407;
     ladder_cases = 31;
     taskgraph_cases = 62;
+    fault_cases = 0;
     rtl_blocks = 4542;
     wall_s = 6.5;
     failures =
@@ -279,11 +280,125 @@ let test_fuzz_report_rejects_bad () =
         "failure with wrong field type"
   | _ -> fail "fuzz report did not serialise to an object"
 
-(* The registry itself: eleven entries, unique ids, resolvable by both
+(* ------------------------------------------------------------------ *)
+(* Fault_report: the fault-campaign --json schema                      *)
+(* ------------------------------------------------------------------ *)
+
+let sample_fault_report () =
+  {
+    Obs.Fault_report.schema_version = Obs.Fault_report.schema_version;
+    seed = 42;
+    ops_per_cell = 240;
+    rates = [ 0.02; 0.1 ];
+    cells =
+      [
+        {
+          Obs.Fault_report.mechanism = "tlm";
+          rate = 0.02;
+          ops = 240;
+          faulted_ops = 19;
+          injected = 48;
+          detected = 47;
+          recovered_ops = 10;
+          lost_ops = 9;
+          retries = 52;
+          watchdog_bites = 0;
+          degraded_to = None;
+          sim_cycles = 123456;
+          cycle_overhead = 0.485;
+          recovery_rate = 0.5263157894;
+          mean_detect_latency = 25.33;
+          checksum_ok = false;
+        };
+        {
+          Obs.Fault_report.mechanism = "degrade";
+          rate = 0.1;
+          ops = 240;
+          faulted_ops = 50;
+          injected = 65;
+          detected = 99;
+          recovered_ops = 45;
+          lost_ops = 5;
+          retries = 80;
+          watchdog_bites = 3;
+          degraded_to = Some "token";
+          sim_cycles = 654321;
+          cycle_overhead = 4.748;
+          recovery_rate = 0.9;
+          mean_detect_latency = 366.29;
+          checksum_ok = false;
+        };
+      ];
+    drills =
+      [
+        {
+          Obs.Fault_report.d_site = "rtl";
+          d_mechanism = "tmr-vote";
+          d_injected = 30;
+          d_detected = 0;
+          d_recovered = 30;
+        };
+      ];
+  }
+
+let test_fault_report_roundtrip () =
+  let r = sample_fault_report () in
+  match Obs.Fault_report.of_json (Obs.Fault_report.to_json r) with
+  | Ok r' ->
+      (* floats pass through %.12g, so compare re-serialized forms *)
+      if
+        Json.to_string (Obs.Fault_report.to_json r')
+        <> Json.to_string (Obs.Fault_report.to_json r)
+      then fail "fault report round trip changed the value"
+  | Error e -> fail e
+
+let test_fault_report_file_roundtrip () =
+  let path = Filename.temp_file "fault_results" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Obs.Fault_report.write ~path (sample_fault_report ());
+      let first = In_channel.with_open_bin path In_channel.input_all in
+      Obs.Fault_report.write ~path (sample_fault_report ());
+      let second = In_channel.with_open_bin path In_channel.input_all in
+      check Alcotest.string "writes are byte-identical" first second;
+      match Obs.Fault_report.read ~path with
+      | Error e -> fail ("written artifact does not parse: " ^ e)
+      | Ok r ->
+          if
+            Json.to_string (Obs.Fault_report.to_json r)
+            <> Json.to_string
+                 (Obs.Fault_report.to_json (sample_fault_report ()))
+          then fail "file round trip changed the value")
+
+let test_fault_report_rejects_bad () =
+  let reject j name =
+    match Obs.Fault_report.of_json j with
+    | Error _ -> ()
+    | Ok _ -> fail ("accepted invalid fault report: " ^ name)
+  in
+  reject (Json.Obj []) "empty object";
+  reject
+    (Json.Obj [ ("schema_version", Json.Int 999) ])
+    "future schema version";
+  match Obs.Fault_report.to_json (sample_fault_report ()) with
+  | Json.Obj fields ->
+      reject
+        (Json.Obj
+           (List.map
+              (fun (k, v) ->
+                if k = "cells" then
+                  (k, Json.List [ Json.Obj [ ("mechanism", Json.Int 3) ] ])
+                else (k, v))
+              fields))
+        "cell with wrong field type"
+  | _ -> fail "fault report did not serialise to an object"
+
+(* The registry itself: twelve entries, unique ids, resolvable by both
    spellings. *)
 let test_registry_shape () =
-  check Alcotest.int "eleven experiments" 11 (List.length Registry.all);
-  check Alcotest.int "unique ids" 11
+  check Alcotest.int "twelve experiments" 12 (List.length Registry.all);
+  check Alcotest.int "unique ids" 12
     (List.length (List.sort_uniq compare Registry.ids));
   (match Registry.find "exp10" with
   | Some e -> check Alcotest.string "cli name resolves" "EXP-10" e.exp_id
@@ -322,7 +437,7 @@ let () =
       ( "bench_report",
         [
           Alcotest.test_case "round trip" `Quick test_report_roundtrip;
-          Alcotest.test_case "golden file: parses, names all eleven" `Quick
+          Alcotest.test_case "golden file: parses, names all twelve" `Quick
             test_report_golden_file;
           Alcotest.test_case "rejects invalid" `Quick test_report_rejects_bad;
           Alcotest.test_case "registry shape" `Quick test_registry_shape;
@@ -334,5 +449,13 @@ let () =
             test_fuzz_report_file_roundtrip;
           Alcotest.test_case "rejects invalid" `Quick
             test_fuzz_report_rejects_bad;
+        ] );
+      ( "fault_report",
+        [
+          Alcotest.test_case "round trip" `Quick test_fault_report_roundtrip;
+          Alcotest.test_case "file round trip byte-identical" `Quick
+            test_fault_report_file_roundtrip;
+          Alcotest.test_case "rejects invalid" `Quick
+            test_fault_report_rejects_bad;
         ] );
     ]

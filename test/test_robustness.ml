@@ -175,6 +175,28 @@ let test_network_deadlock_detected () =
     check Alcotest.bool "names the blocked process" true
       (contains names "consumer")
 
+let test_deadlock_names_every_blocked_process () =
+  (* several distinct processes blocked on never-fed channels: the
+     Deadlock payload must name each blocked non-daemon, and must not
+     name daemons or processes that finished cleanly *)
+  let k = K.create () in
+  let c1 = Ch.create ~depth:1 ~name:"starve1" k () in
+  let c2 = Ch.create ~depth:1 ~name:"starve2" k () in
+  K.spawn ~name:"eater-one" k (fun () -> ignore (Ch.recv c1));
+  K.spawn ~name:"eater-two" k (fun () -> ignore (Ch.recv c2));
+  K.spawn ~name:"bystander" k (fun () -> K.wait 10);
+  K.spawn ~name:"lurker" ~daemon:true k (fun () -> ignore (Ch.recv c1));
+  (try
+     ignore (K.run k);
+     fail "expected Deadlock"
+   with K.Deadlock names ->
+     check Alcotest.bool "names eater-one" true (contains names "eater-one");
+     check Alcotest.bool "names eater-two" true (contains names "eater-two");
+     check Alcotest.bool "omits finished process" false
+       (contains names "bystander");
+     check Alcotest.bool "omits daemon" false (contains names "lurker"));
+  ()
+
 let test_network_trap_surfaces () =
   (* a software process that stores out of its data segment traps; the
      co-simulation must fail loudly, not silently *)
@@ -406,6 +428,8 @@ let () =
         [
           Alcotest.test_case "network deadlock detected" `Quick
             test_network_deadlock_detected;
+          Alcotest.test_case "deadlock names every blocked process" `Quick
+            test_deadlock_names_every_blocked_process;
           Alcotest.test_case "bad store rejected" `Quick
             test_network_trap_surfaces;
           Alcotest.test_case "unmapped address raises" `Quick
