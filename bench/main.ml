@@ -173,6 +173,64 @@ let bench_cosim_tlm () =
 
 let bench_asip () = ignore (Asip.design fir_proc fir_binds)
 
+(* A 16-wide, 4-stage registered mixing pipeline (xor/and/not layers
+   between DFF ranks): 192 combinational gates + 64 flops, a
+   representative mix for the netlist-simulation kernels.  The same
+   circuit runs on the compiled backend and on the pre-compile
+   interpreted reference, so the pair quotes the compile step's win. *)
+module NB = Codesign_rtl.Netlist.Builder
+
+let logic_sim_net =
+  let b = NB.create ~name:"bench_pipe" () in
+  let ins = List.init 16 (fun i -> NB.input b (Printf.sprintf "i%d" i)) in
+  let rec rounds k nets =
+    if k = 0 then nets
+    else
+      let arr = Array.of_list nets in
+      let w = Array.length arr in
+      let mixed =
+        List.mapi
+          (fun idx x ->
+            NB.xor2 b x
+              (NB.and2 b arr.((idx + 3) mod w) (NB.not1 b arr.((idx + 7) mod w))))
+          nets
+      in
+      rounds (k - 1) (List.map (NB.dff b) mixed)
+  in
+  let outs = rounds 4 ins in
+  List.iteri (fun i n -> NB.output b (Printf.sprintf "o%d" i) n) outs;
+  NB.finish b
+
+module L = Codesign_rtl.Logic_sim
+
+let logic_sim_compiled = L.create logic_sim_net
+let logic_sim_interp = L.Interp.create logic_sim_net
+
+let bench_logic_sim () =
+  L.set_input logic_sim_compiled "i0" 1;
+  for _ = 1 to 100 do
+    L.clock_cycle logic_sim_compiled
+  done
+
+let bench_logic_sim_interp () =
+  L.Interp.set_input logic_sim_interp "i0" 1;
+  for _ = 1 to 100 do
+    L.Interp.clock_cycle logic_sim_interp
+  done
+
+(* The raw event-wheel drain: push 1k events at scattered times, then
+   pop them back through the allocation-free [pop_into] path the kernel
+   dispatch loop uses. *)
+let bench_event_drain () =
+  let q = Codesign_sim.Event_queue.create () in
+  for i = 1 to 1000 do
+    Codesign_sim.Event_queue.push q ~time:(i * 7919 land 1023) ignore
+  done;
+  let slot = Codesign_sim.Event_queue.slot () in
+  while Codesign_sim.Event_queue.pop_into q ~limit:max_int slot do
+    slot.Codesign_sim.Event_queue.s_thunk ()
+  done
+
 (* Returns the (name, ns/run OLS estimate) rows alongside printing them,
    so the JSON artifact carries the same numbers as the text report. *)
 let run_microbenchmarks () =
@@ -189,6 +247,9 @@ let run_microbenchmarks () =
         test "cosynth/sos-6-tasks" bench_sos;
         test "cosim/tlm-echo" bench_cosim_tlm;
         test "asip/design-fir" bench_asip;
+        test "logic_sim/pipe-100-cycles" bench_logic_sim;
+        test "logic_sim/pipe-100-cycles-interp" bench_logic_sim_interp;
+        test "event-drain/1k-events" bench_event_drain;
       ]
   in
   let ols =

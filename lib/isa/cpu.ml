@@ -65,7 +65,12 @@ let reset t =
   t.status <- Running;
   t.irq_enable <- false;
   t.in_isr <- false;
-  t.epc <- 0
+  t.epc <- 0;
+  (* a latched request line or retirement callback from the previous run
+     must not leak into the next one: a stale high line would fire an
+     interrupt right after the first [Ei] *)
+  t.irq_line <- false;
+  t.retire_cb <- None
 
 let status t = t.status
 let cycles t = t.cycles
@@ -140,84 +145,119 @@ let step t =
         let this_pc = t.pc in
         let next = t.pc + 1 in
         try
-          let lat = ref (t.latency i) in
-          let mem_access a =
-            if a < 0 || a >= Array.length t.mem then
-              raise
-                (Trap (Printf.sprintf "mem access %d at pc %d" a this_pc))
-            else a
-          in
-          (match i with
-          | Isa.Alu (op, d, a, b) ->
-              set_reg t d (alu op t.regs.(a) t.regs.(b));
-              t.pc <- next
-          | Isa.Alui (op, d, a, imm) ->
-              set_reg t d (alu op t.regs.(a) imm);
-              t.pc <- next
-          | Isa.Li (d, imm) ->
-              set_reg t d imm;
-              t.pc <- next
-          | Isa.Lw (d, a, off) ->
-              let addr = t.regs.(a) + off in
-              (match t.env.mem_read addr with
-              | Some v -> set_reg t d v
-              | None -> set_reg t d t.mem.(mem_access addr));
-              t.pc <- next
-          | Isa.Sw (s, a, off) ->
-              let addr = t.regs.(a) + off in
-              if not (t.env.mem_write addr t.regs.(s)) then
-                t.mem.(mem_access addr) <- t.regs.(s);
-              t.pc <- next
-          | Isa.B (c, a, b, tgt) ->
-              if cond c t.regs.(a) t.regs.(b) then begin
+          (* the execute match returns the step's latency directly: no
+             [ref] cell and no bounds-check closure allocated per step *)
+          let lat0 = t.latency i in
+          let lat =
+            match i with
+            | Isa.Alu (op, d, a, b) ->
+                set_reg t d (alu op t.regs.(a) t.regs.(b));
+                t.pc <- next;
+                lat0
+            | Isa.Alui (op, d, a, imm) ->
+                set_reg t d (alu op t.regs.(a) imm);
+                t.pc <- next;
+                lat0
+            | Isa.Li (d, imm) ->
+                set_reg t d imm;
+                t.pc <- next;
+                lat0
+            | Isa.Lw (d, a, off) ->
+                let addr = t.regs.(a) + off in
+                (match t.env.mem_read addr with
+                | Some v -> set_reg t d v
+                | None ->
+                    if addr < 0 || addr >= Array.length t.mem then
+                      raise
+                        (Trap
+                           (Printf.sprintf "mem access %d at pc %d" addr
+                              this_pc));
+                    set_reg t d t.mem.(addr));
+                t.pc <- next;
+                lat0
+            | Isa.Sw (s, a, off) ->
+                let addr = t.regs.(a) + off in
+                if not (t.env.mem_write addr t.regs.(s)) then begin
+                  if addr < 0 || addr >= Array.length t.mem then
+                    raise
+                      (Trap
+                         (Printf.sprintf "mem access %d at pc %d" addr
+                            this_pc));
+                  t.mem.(addr) <- t.regs.(s)
+                end;
+                t.pc <- next;
+                lat0
+            | Isa.B (c, a, b, tgt) ->
+                if cond c t.regs.(a) t.regs.(b) then begin
+                  t.pc <- tgt;
+                  lat0 + 1 (* taken-branch penalty *)
+                end
+                else begin
+                  t.pc <- next;
+                  lat0
+                end
+            | Isa.J tgt ->
                 t.pc <- tgt;
-                incr lat (* taken-branch penalty *)
-              end
-              else t.pc <- next
-          | Isa.J tgt -> t.pc <- tgt
-          | Isa.Jal (d, tgt) ->
-              set_reg t d next;
-              t.pc <- tgt
-          | Isa.Jr r -> t.pc <- t.regs.(r)
-          | Isa.In (d, port) ->
-              set_reg t d (t.env.port_in port);
-              t.pc <- next
-          | Isa.Out (port, s) ->
-              t.env.port_out port t.regs.(s);
-              t.pc <- next
-          | Isa.Custom (e, d, a, b) ->
-              set_reg t d (t.env.custom e t.regs.(d) t.regs.(a) t.regs.(b));
-              lat := t.env.custom_latency e;
-              t.pc <- next
-          | Isa.Ei ->
-              t.irq_enable <- true;
-              t.pc <- next
-          | Isa.Di ->
-              t.irq_enable <- false;
-              t.pc <- next
-          | Isa.Rti ->
-              t.pc <- t.epc;
-              t.in_isr <- false;
-              t.irq_enable <- true
-          | Isa.Nop -> t.pc <- next
-          | Isa.Halt ->
-              t.status <- Halted;
-              t.pc <- next);
-          t.cycles <- t.cycles + !lat;
+                lat0
+            | Isa.Jal (d, tgt) ->
+                set_reg t d next;
+                t.pc <- tgt;
+                lat0
+            | Isa.Jr r ->
+                t.pc <- t.regs.(r);
+                lat0
+            | Isa.In (d, port) ->
+                set_reg t d (t.env.port_in port);
+                t.pc <- next;
+                lat0
+            | Isa.Out (port, s) ->
+                t.env.port_out port t.regs.(s);
+                t.pc <- next;
+                lat0
+            | Isa.Custom (e, d, a, b) ->
+                set_reg t d (t.env.custom e t.regs.(d) t.regs.(a) t.regs.(b));
+                t.pc <- next;
+                t.env.custom_latency e
+            | Isa.Ei ->
+                t.irq_enable <- true;
+                t.pc <- next;
+                lat0
+            | Isa.Di ->
+                t.irq_enable <- false;
+                t.pc <- next;
+                lat0
+            | Isa.Rti ->
+                t.pc <- t.epc;
+                t.in_isr <- false;
+                t.irq_enable <- true;
+                lat0
+            | Isa.Nop ->
+                t.pc <- next;
+                lat0
+            | Isa.Halt ->
+                t.status <- Halted;
+                t.pc <- next;
+                lat0
+          in
+          t.cycles <- t.cycles + lat;
           t.instret <- t.instret + 1;
           (match t.retire_cb with
-          | Some cb -> cb ~pc:this_pc ~cycles:!lat
+          | Some cb -> cb ~pc:this_pc ~cycles:lat
           | None -> ());
-          !lat
+          lat
         with Trap msg ->
           t.status <- Trapped msg;
           0)
 
-let run ?(fuel = 50_000_000) t =
-  let remaining = ref fuel in
-  while t.status = Running && !remaining > 0 do
+let run_fast t ~fuel =
+  let steps = ref 0 in
+  while t.status = Running && !steps < fuel do
     ignore (step t);
-    decr remaining
+    incr steps
   done;
+  !steps
+
+let run ?(fuel = 50_000_000) t =
+  ignore (run_fast t ~fuel);
   if t.status = Running then t.status <- Trapped "fuel exhausted";
   t.status

@@ -55,7 +55,10 @@ val create :
     [irq_vector] to 1. *)
 
 val reset : t -> unit
-(** Clears registers, PC and cycle count (memory is preserved). *)
+(** Clears registers, PC, cycle count, interrupt state (including a
+    latched request line) and any {!on_retire} callback; memory is
+    preserved.  A reset CPU takes no interrupt until {!set_irq} drives
+    the line again. *)
 
 val status : t -> status
 val cycles : t -> int
@@ -88,9 +91,19 @@ val step : t -> int
     cycles the step consumed (0 when already halted/trapped).  Status
     may change as a side effect. *)
 
+val run_fast : t -> fuel:int -> int
+(** The inner dispatch loop of {!run}: execute up to [fuel] steps
+    (instructions or interrupt entries) without per-step bookkeeping
+    beyond {!step} itself, stopping early on [Halted]/[Trapped].
+    Returns the number of steps executed; unlike {!run} it does not
+    turn fuel exhaustion into a trap, so slicing callers (profilers,
+    fuzzing oracles) can interleave bounded bursts with their own
+    checks.  Semantically identical to calling {!step} in a loop. *)
+
 val run : ?fuel:int -> t -> status
 (** Step until [Halted] or [Trapped]; [fuel] bounds the instruction
-    count (default 50 million) and exhaustion traps. *)
+    count (default 50 million) and exhaustion traps.  Implemented on
+    {!run_fast}. *)
 
 val on_retire : t -> (pc:int -> cycles:int -> unit) -> unit
 (** Install a retirement callback (used by the profiler): called after

@@ -1,11 +1,5 @@
-type t = {
-  net : Netlist.t;
-  values : int array;  (** current value of every net *)
-  order : Netlist.gate array;  (** combinational gates, topo order *)
-  dffs : Netlist.gate array;
-  mutable cycles : int;
-}
-
+(* Shared front end: topologically order the combinational gates (DFF
+   outputs are state elements, not combinational dependencies). *)
 let topo_comb_order (net : Netlist.t) =
   let gates = Array.of_list net.Netlist.gates in
   let n = Array.length gates in
@@ -36,48 +30,145 @@ let topo_comb_order (net : Netlist.t) =
              else None)
            order)
 
+(* ------------------------------------------------------------------ *)
+(* the compiled evaluator                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Gate opcodes of the compiled program (a closed int enum: the gate
+   kind match happens once, at compile time, not per gate per cycle). *)
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_nand = 3
+let op_nor = 4
+let op_not = 5
+let op_buf = 6
+let op_mux = 7
+
+let opcode = function
+  | Netlist.And -> op_and
+  | Netlist.Or -> op_or
+  | Netlist.Xor -> op_xor
+  | Netlist.Nand -> op_nand
+  | Netlist.Nor -> op_nor
+  | Netlist.Not -> op_not
+  | Netlist.Buf -> op_buf
+  | Netlist.Mux -> op_mux
+  | Netlist.Dff -> assert false
+
+(* One fixed-stride record per combinational gate, topo order:
+   [opcode; output net; in0; in1; in2] (unused operand slots are 0,
+   which is the constant-0 net and thus always a valid index). *)
+let stride = 5
+
+type t = {
+  net : Netlist.t;
+  values : int array;  (** current value of every net *)
+  prog : int array;  (** compiled combinational program, [stride] per gate *)
+  n_gates : int;  (** combinational gates in [prog] *)
+  dff_d : int array;  (** D-input net id per flop *)
+  dff_q : int array;  (** Q-output net id per flop *)
+  dff_tmp : int array;  (** preallocated sample buffer for two-phase latch *)
+  input_ids : (string, int) Hashtbl.t;
+  output_ids : (string, int) Hashtbl.t;
+  mutable cycles : int;
+}
+
+let compile_order (order : Netlist.gate array) =
+  let n = Array.length order in
+  let prog = Array.make (n * stride) 0 in
+  Array.iteri
+    (fun i (g : Netlist.gate) ->
+      let base = i * stride in
+      prog.(base) <- opcode g.Netlist.kind;
+      prog.(base + 1) <- g.Netlist.output;
+      List.iteri (fun j inp -> prog.(base + 2 + j) <- inp) g.Netlist.inputs)
+    order;
+  prog
+
 let create net =
   Netlist.validate net;
   let values = Array.make net.Netlist.n_nets 0 in
   if net.Netlist.n_nets > 1 then values.(1) <- 1;
+  let order = topo_comb_order net in
   let dffs =
     Array.of_list
-      (List.filter (fun (g : Netlist.gate) -> g.Netlist.kind = Netlist.Dff) net.Netlist.gates)
+      (List.filter
+         (fun (g : Netlist.gate) -> g.Netlist.kind = Netlist.Dff)
+         net.Netlist.gates)
   in
-  { net; values; order = topo_comb_order net; dffs; cycles = 0 }
+  let name_table pairs =
+    let tbl = Hashtbl.create (List.length pairs) in
+    List.iter (fun (n, id) -> Hashtbl.replace tbl n id) pairs;
+    tbl
+  in
+  {
+    net;
+    values;
+    prog = compile_order order;
+    n_gates = Array.length order;
+    dff_d =
+      Array.map (fun (g : Netlist.gate) -> List.hd g.Netlist.inputs) dffs;
+    dff_q = Array.map (fun (g : Netlist.gate) -> g.Netlist.output) dffs;
+    dff_tmp = Array.make (Array.length dffs) 0;
+    input_ids = name_table net.Netlist.inputs;
+    output_ids = name_table net.Netlist.outputs;
+    cycles = 0;
+  }
+
+let unknown_name t kind name =
+  invalid_arg
+    (Printf.sprintf "Logic_sim.%s: unknown %s %S in netlist %s"
+       (match kind with `Input -> "set_input" | `Output -> "output")
+       (match kind with `Input -> "input" | `Output -> "output")
+       name t.net.Netlist.name)
 
 let set_input t name v =
-  let id = List.assoc name t.net.Netlist.inputs in
-  t.values.(id) <- (if v <> 0 then 1 else 0)
+  match Hashtbl.find_opt t.input_ids name with
+  | Some id -> t.values.(id) <- (if v <> 0 then 1 else 0)
+  | None -> unknown_name t `Input name
 
-let eval_gate t (g : Netlist.gate) =
-  let v i = t.values.(List.nth g.Netlist.inputs i) in
-  let r =
-    match g.Netlist.kind with
-    | Netlist.And -> v 0 land v 1
-    | Netlist.Or -> v 0 lor v 1
-    | Netlist.Xor -> v 0 lxor v 1
-    | Netlist.Nand -> 1 - (v 0 land v 1)
-    | Netlist.Nor -> 1 - (v 0 lor v 1)
-    | Netlist.Not -> 1 - v 0
-    | Netlist.Buf -> v 0
-    | Netlist.Mux -> if v 0 = 0 then v 1 else v 2
-    | Netlist.Dff -> assert false
-  in
-  t.values.(g.Netlist.output) <- r
+let eval t =
+  let p = t.prog and v = t.values in
+  let n = t.n_gates in
+  for i = 0 to n - 1 do
+    let base = i * stride in
+    let op = p.(base) in
+    let out = p.(base + 1) in
+    let a = v.(p.(base + 2)) in
+    v.(out) <-
+      (if op <= op_xor then
+         let b = v.(p.(base + 3)) in
+         if op = op_and then a land b
+         else if op = op_or then a lor b
+         else a lxor b
+       else if op <= op_nor then
+         let b = v.(p.(base + 3)) in
+         if op = op_nand then 1 - (a land b) else 1 - (a lor b)
+       else if op = op_not then 1 - a
+       else if op = op_buf then a
+       else if a = 0 then v.(p.(base + 3))
+       else v.(p.(base + 4)))
+  done
 
-let eval t = Array.iter (eval_gate t) t.order
+let output t name =
+  match Hashtbl.find_opt t.output_ids name with
+  | Some id -> t.values.(id)
+  | None -> unknown_name t `Output name
 
-let output t name = t.values.(List.assoc name t.net.Netlist.outputs)
 let net t i = t.values.(i)
 
 let clock_cycle t =
   eval t;
-  (* sample all D inputs first, then update all Q outputs *)
-  let ds =
-    Array.map (fun (g : Netlist.gate) -> t.values.(List.hd g.Netlist.inputs)) t.dffs
-  in
-  Array.iteri (fun i g -> t.values.(g.Netlist.output) <- ds.(i)) t.dffs;
+  (* sample all D inputs first, then update all Q outputs, into a buffer
+     preallocated at [create] — no per-cycle allocation *)
+  let nd = Array.length t.dff_d in
+  for i = 0 to nd - 1 do
+    t.dff_tmp.(i) <- t.values.(t.dff_d.(i))
+  done;
+  for i = 0 to nd - 1 do
+    t.values.(t.dff_q.(i)) <- t.dff_tmp.(i)
+  done;
   eval t;
   t.cycles <- t.cycles + 1
 
@@ -88,10 +179,14 @@ let reset t =
   if Array.length t.values > 1 then t.values.(1) <- 1;
   t.cycles <- 0
 
-let run_vectors t ~inputs vectors =
-  let outs =
-    List.map (fun (n, _) -> (n, ref [])) t.net.Netlist.outputs
-  in
+let run_vectors ?(reset = true) t ~inputs vectors =
+  if reset then
+    (* fresh DFF/net state per call: vector responses must not depend on
+       whatever a previous [run_vectors] left latched *)
+    (Array.fill t.values 0 (Array.length t.values) 0;
+     if Array.length t.values > 1 then t.values.(1) <- 1;
+     t.cycles <- 0);
+  let outs = List.map (fun (n, _) -> (n, ref [])) t.net.Netlist.outputs in
   List.iter
     (fun vec ->
       List.iter2 (fun name v -> set_input t name v) inputs vec;
@@ -99,3 +194,82 @@ let run_vectors t ~inputs vectors =
       List.iter (fun (n, acc) -> acc := output t n :: !acc) outs)
     vectors;
   List.map (fun (n, acc) -> (n, List.rev !acc)) outs
+
+(* ------------------------------------------------------------------ *)
+(* the interpreted reference evaluator                                 *)
+(* ------------------------------------------------------------------ *)
+
+module Interp = struct
+  type t = {
+    net : Netlist.t;
+    values : int array;
+    order : Netlist.gate array;
+    dffs : Netlist.gate array;
+    mutable cycles : int;
+  }
+
+  let create net =
+    Netlist.validate net;
+    let values = Array.make net.Netlist.n_nets 0 in
+    if net.Netlist.n_nets > 1 then values.(1) <- 1;
+    let dffs =
+      Array.of_list
+        (List.filter
+           (fun (g : Netlist.gate) -> g.Netlist.kind = Netlist.Dff)
+           net.Netlist.gates)
+    in
+    { net; values; order = topo_comb_order net; dffs; cycles = 0 }
+
+  let set_input t name v =
+    let id = List.assoc name t.net.Netlist.inputs in
+    t.values.(id) <- (if v <> 0 then 1 else 0)
+
+  let eval_gate t (g : Netlist.gate) =
+    let v i = t.values.(List.nth g.Netlist.inputs i) in
+    let r =
+      match g.Netlist.kind with
+      | Netlist.And -> v 0 land v 1
+      | Netlist.Or -> v 0 lor v 1
+      | Netlist.Xor -> v 0 lxor v 1
+      | Netlist.Nand -> 1 - (v 0 land v 1)
+      | Netlist.Nor -> 1 - (v 0 lor v 1)
+      | Netlist.Not -> 1 - v 0
+      | Netlist.Buf -> v 0
+      | Netlist.Mux -> if v 0 = 0 then v 1 else v 2
+      | Netlist.Dff -> assert false
+    in
+    t.values.(g.Netlist.output) <- r
+
+  let eval t = Array.iter (eval_gate t) t.order
+
+  let output t name = t.values.(List.assoc name t.net.Netlist.outputs)
+
+  let clock_cycle t =
+    eval t;
+    let ds =
+      Array.map
+        (fun (g : Netlist.gate) -> t.values.(List.hd g.Netlist.inputs))
+        t.dffs
+    in
+    Array.iteri (fun i g -> t.values.(g.Netlist.output) <- ds.(i)) t.dffs;
+    eval t;
+    t.cycles <- t.cycles + 1
+
+  let cycles_run t = t.cycles
+
+  let reset t =
+    Array.fill t.values 0 (Array.length t.values) 0;
+    if Array.length t.values > 1 then t.values.(1) <- 1;
+    t.cycles <- 0
+
+  let run_vectors t ~inputs vectors =
+    reset t;
+    let outs = List.map (fun (n, _) -> (n, ref [])) t.net.Netlist.outputs in
+    List.iter
+      (fun vec ->
+        List.iter2 (fun name v -> set_input t name v) inputs vec;
+        clock_cycle t;
+        List.iter (fun (n, acc) -> acc := output t n :: !acc) outs)
+      vectors;
+    List.map (fun (n, acc) -> (n, List.rev !acc)) outs
+end

@@ -1,26 +1,36 @@
-(** Two-phase (levelized) logic simulation of {!Netlist} circuits.
+(** Two-phase (levelized) compiled logic simulation of {!Netlist}
+    circuits.
 
-    A simulator instance owns the net value state.  Combinational
-    evaluation propagates input values through the gates in topological
-    order; {!clock_cycle} additionally latches every DFF, implementing
-    standard synchronous semantics (all flops update simultaneously from
-    their pre-clock D values). *)
+    A simulator instance owns the net value state.  At {!create} the
+    topologically ordered combinational gates are lowered into a flat
+    int-array program (opcode + operand net ids, fixed stride), so the
+    steady-state evaluation loop touches only int arrays — no list
+    traversal, no per-gate pattern match, no allocation.  Combinational
+    evaluation propagates input values through that program;
+    {!clock_cycle} additionally latches every DFF, implementing standard
+    synchronous semantics (all flops update simultaneously from their
+    pre-clock D values).
+
+    The pre-compile gate-list interpreter survives as {!Interp}, the
+    differential reference the equivalence property tests and the
+    before/after microbenchmarks run against. *)
 
 type t
 
 val create : Netlist.t -> t
-(** @raise Invalid_argument if the combinational part is cyclic. *)
+(** Validates, topo-orders and compiles the netlist.
+    @raise Invalid_argument if the combinational part is cyclic. *)
 
 val set_input : t -> string -> int -> unit
-(** Values are truthy: any nonzero is 1.  @raise Not_found on unknown
-    input name. *)
+(** Values are truthy: any nonzero is 1.  @raise Invalid_argument
+    naming the offending signal on an unknown input name. *)
 
 val eval : t -> unit
 (** Propagate combinational logic from current inputs and flop states. *)
 
 val output : t -> string -> int
-(** Read a primary output (after {!eval}).  @raise Not_found on unknown
-    name. *)
+(** Read a primary output (after {!eval}).  @raise Invalid_argument
+    naming the offending signal on an unknown output name. *)
 
 val net : t -> int -> int
 (** Read any net by id. *)
@@ -34,7 +44,34 @@ val cycles_run : t -> int
 val reset : t -> unit
 (** Clear all net values and flop states to 0 (constant-1 net stays 1). *)
 
-val run_vectors : t -> inputs:string list -> int list list -> (string * int list) list
-(** Convenience for tests: apply each input vector (values parallel to
-    [inputs]), run {!clock_cycle}, and collect each primary output's
-    waveform. *)
+val run_vectors :
+  ?reset:bool -> t -> inputs:string list -> int list list ->
+  (string * int list) list
+(** Apply each input vector (values parallel to [inputs]), run
+    {!clock_cycle}, and collect each primary output's waveform.  By
+    default the simulator is {!reset} first so repeated calls are
+    independent experiments; pass [~reset:false] to deliberately carry
+    DFF/net state over from a previous run. *)
+
+(** The pre-compile interpreted evaluator (gate records, [List.nth]
+    operand lookup), kept verbatim as a differential reference: the
+    equivalence property tests run random netlists through both
+    backends, and the [logic_sim] microbenchmarks quote compiled
+    vs. interpreted throughput.  Not intended for production callers. *)
+module Interp : sig
+  type t
+
+  val create : Netlist.t -> t
+  val set_input : t -> string -> int -> unit
+  (** @raise Not_found on unknown input name (historical behaviour). *)
+
+  val eval : t -> unit
+  val output : t -> string -> int
+  val clock_cycle : t -> unit
+  val cycles_run : t -> int
+  val reset : t -> unit
+
+  val run_vectors :
+    t -> inputs:string list -> int list list -> (string * int list) list
+  (** Always resets first, matching the compiled default. *)
+end

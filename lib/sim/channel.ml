@@ -84,18 +84,30 @@ let try_recv c =
   else None
 
 let recv c =
-  match try_recv c with
-  | Some v -> v
-  | None ->
-      c.recv_blocks <- c.recv_blocks + 1;
-      let cell = ref None in
-      Kernel.suspend ~register:(fun resume ->
-          Queue.push (cell, resume) c.waiting_receivers);
-      (match !cell with
-      | Some v -> v
-      | None ->
-          (* Resumed without a direct hand-off: a sender refilled the
-             buffer while we were queued. *)
-          (match try_recv c with
-          | Some v -> v
-          | None -> assert false))
+  (* The non-blocking paths mirror [try_recv] but skip its option
+     round-trip, so a receive that finds data ready allocates nothing. *)
+  if not (Queue.is_empty c.buffer) then begin
+    let v = Queue.pop c.buffer in
+    refill c;
+    v
+  end
+  else if c.cap = 0 && not (Queue.is_empty c.waiting_senders) then begin
+    (* rendezvous hand-off from a blocked sender *)
+    let v, resume = Queue.pop c.waiting_senders in
+    resume ();
+    v
+  end
+  else begin
+    c.recv_blocks <- c.recv_blocks + 1;
+    let cell = ref None in
+    Kernel.suspend ~register:(fun resume ->
+        Queue.push (cell, resume) c.waiting_receivers);
+    match !cell with
+    | Some v -> v
+    | None -> (
+        (* Resumed without a direct hand-off: a sender refilled the
+           buffer while we were queued. *)
+        match try_recv c with
+        | Some v -> v
+        | None -> assert false)
+  end

@@ -36,30 +36,52 @@ let push t ~time thunk =
     i := (!i - 1) / 2
   done
 
+let sift_down t =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let m = ref !i in
+    if l < t.len && before t.heap.(l) t.heap.(!m) then m := l;
+    if r < t.len && before t.heap.(r) t.heap.(!m) then m := r;
+    if !m = !i then continue_ := false
+    else begin
+      swap t !i !m;
+      i := !m
+    end
+  done
+
+let remove_top t =
+  let top = t.heap.(0) in
+  t.len <- t.len - 1;
+  t.heap.(0) <- t.heap.(t.len);
+  t.heap.(t.len) <- dummy;
+  sift_down t;
+  top
+
 let pop t =
   if t.len = 0 then None
   else begin
-    let top = t.heap.(0) in
-    t.len <- t.len - 1;
-    t.heap.(0) <- t.heap.(t.len);
-    t.heap.(t.len) <- dummy;
-    let i = ref 0 in
-    let continue_ = ref true in
-    while !continue_ do
-      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-      let m = ref !i in
-      if l < t.len && before t.heap.(l) t.heap.(!m) then m := l;
-      if r < t.len && before t.heap.(r) t.heap.(!m) then m := r;
-      if !m = !i then continue_ := false
-      else begin
-        swap t !i !m;
-        i := !m
-      end
-    done;
+    let top = remove_top t in
     Some (top.time, top.thunk)
   end
 
+type slot = { mutable s_time : int; mutable s_thunk : unit -> unit }
+
+let slot () = { s_time = 0; s_thunk = ignore }
+
+let pop_into t ~limit out =
+  t.len > 0
+  && t.heap.(0).time <= limit
+  && begin
+       let top = remove_top t in
+       out.s_time <- top.time;
+       out.s_thunk <- top.thunk;
+       true
+     end
+
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
+let min_time t = if t.len = 0 then max_int else t.heap.(0).time
 let size t = t.len
 let is_empty t = t.len = 0
 let pushed_total t = t.pushed

@@ -16,8 +16,27 @@ val pop : t -> (int * (unit -> unit)) option
 (** Remove and return the earliest event (ties broken by insertion
     order), or [None] when empty. *)
 
+type slot = { mutable s_time : int; mutable s_thunk : unit -> unit }
+(** A caller-owned out-cell for {!pop_into}: reusing one slot across a
+    whole dispatch loop makes the steady-state drain allocation-free
+    (no option/tuple per event). *)
+
+val slot : unit -> slot
+(** A fresh slot (initially time 0 / no-op thunk). *)
+
+val pop_into : t -> limit:int -> slot -> bool
+(** [pop_into t ~limit out] removes the earliest event into [out] and
+    returns [true] iff the queue is nonempty and that event's time is
+    [<= limit] — merging the peek-compare-pop sequence of a bounded
+    dispatch loop into one call.  On [false] the queue is untouched.
+    Pass [limit:max_int] for an unbounded drain. *)
+
 val peek_time : t -> int option
 (** Timestamp of the earliest event without removing it. *)
+
+val min_time : t -> int
+(** Timestamp of the earliest event, or [max_int] when empty — a
+    non-allocating {!peek_time} for hot loops. *)
 
 val size : t -> int
 

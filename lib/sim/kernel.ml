@@ -152,25 +152,19 @@ let blocked_non_daemon k =
     (fun _ (n, daemon) acc -> if daemon then acc else n :: acc)
     k.blocked []
 
-let run ?until ?(expect_quiescent = false) k =
+let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
   let events0 = k.events
   and activations0 = k.activations
   and scheduled0 = Event_queue.pushed_total k.q in
-  let stop = ref false in
-  while not !stop do
-    match Event_queue.peek_time k.q with
-    | None -> stop := true
-    | Some t when (match until with Some u -> t > u | None -> false) ->
-        stop := true
-    | Some _ ->
-        let time, thunk =
-          match Event_queue.pop k.q with
-          | Some e -> e
-          | None -> assert false
-        in
-        k.now <- time;
-        k.events <- k.events + 1;
-        thunk ()
+  (* One reused slot keeps the steady-state dispatch loop allocation-free:
+     pop_into merges the peek / bound-compare / pop of the old loop into a
+     single heap operation per event. *)
+  let limit = match until with Some u -> u | None -> max_int in
+  let slot = Event_queue.slot () in
+  while Event_queue.pop_into k.q ~limit slot do
+    k.now <- slot.Event_queue.s_time;
+    k.events <- k.events + 1;
+    slot.Event_queue.s_thunk ()
   done;
   (* With a bound, simulated time always advances to the bound — even
      when future events remain queued past it — so that repeated bounded
@@ -186,7 +180,7 @@ let run ?until ?(expect_quiescent = false) k =
     Event_queue.is_empty k.q
     && stuck <> []
     && (not expect_quiescent)
-    && until = None
+    && (until = None || check_deadlock)
   then begin
     let names = List.sort_uniq compare stuck |> String.concat ", " in
     raise (Deadlock names)

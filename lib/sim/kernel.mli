@@ -52,7 +52,8 @@ val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule a bare callback (not a process: it must not block) at an
     absolute time >= now. *)
 
-val run : ?until:int -> ?expect_quiescent:bool -> t -> stats
+val run :
+  ?until:int -> ?expect_quiescent:bool -> ?check_deadlock:bool -> t -> stats
 (** Dispatch events until the queue is empty or simulated time would
     exceed [until].  When [until] is given, simulated time always ends
     at [max now until] — even if undispatched events remain queued past
@@ -61,8 +62,22 @@ val run : ?until:int -> ?expect_quiescent:bool -> t -> stats
     blocked at quiescence and [expect_quiescent] is [false] (the
     default) and no [until] was given, raises {!Deadlock}; with
     [expect_quiescent:true] (or an [until] bound) blocked processes are
-    abandoned silently.  Returns run statistics.  [run] may be called
-    again after adding more work. *)
+    abandoned silently.  [check_deadlock:true] (default [false]) extends
+    deadlock detection to bounded runs: if the event queue drained
+    completely before the bound and non-daemon processes are still
+    blocked, the run raises {!Deadlock} instead of silently coasting to
+    [until] — the audit co-simulation and fault campaigns use on
+    bounded runs ({!blocked_non_daemon} is the non-raising query).
+    Returns run statistics.  [run] may be called again after adding
+    more work. *)
+
+val blocked_non_daemon : t -> string list
+(** Names of the non-daemon processes currently blocked in {!suspend}
+    (unsorted, one entry per blocked process).  Empty for a quiescent or
+    deadlock-free kernel; after a bounded {!run}, a non-empty result
+    with an empty event queue means the simulation can never make
+    progress again — the condition [check_deadlock] turns into
+    {!Deadlock}. *)
 
 val stats : t -> stats
 (** Statistics so far (also valid mid-run, from within a process). *)

@@ -1,0 +1,198 @@
+(* Old-vs-new equivalence property tests for the compiled simulation hot
+   paths: random netlists through the interpreted vs compiled
+   {!Logic_sim} backends, and random fuzz behaviours through a manual
+   [Cpu.step] loop vs [Cpu.run_fast] — both pairs must be observationally
+   identical (outputs, cycle counts, architectural state). *)
+
+module N = Codesign_rtl.Netlist
+module L = Codesign_rtl.Logic_sim
+module Rng = Codesign_ir.Rng
+module Cpu = Codesign_isa.Cpu
+module Codegen = Codesign_isa.Codegen
+module Asm = Codesign_isa.Asm
+module Gen = Codesign_fuzz.Gen
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+(* ------------------------------------------------------------------ *)
+(* random netlists                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A random feed-forward netlist: gates draw operands from the pool of
+   already-driven nets, so the combinational part is a DAG by
+   construction; DFF outputs join the pool like any other net. *)
+let gen_netlist rng =
+  let b = N.Builder.create ~name:"rand" () in
+  let n_inputs = 2 + Rng.int rng 4 in
+  let inputs = List.init n_inputs (fun i -> Printf.sprintf "in%d" i) in
+  let pool = ref (N.Builder.const0 :: N.Builder.const1 :: []) in
+  List.iter (fun nm -> pool := N.Builder.input b nm :: !pool) inputs;
+  let pick () = Rng.pick rng !pool in
+  let n_gates = 5 + Rng.int rng 45 in
+  for _ = 1 to n_gates do
+    let out =
+      match Rng.int rng 9 with
+      | 0 -> N.Builder.gate b N.And [ pick (); pick () ]
+      | 1 -> N.Builder.gate b N.Or [ pick (); pick () ]
+      | 2 -> N.Builder.gate b N.Xor [ pick (); pick () ]
+      | 3 -> N.Builder.gate b N.Nand [ pick (); pick () ]
+      | 4 -> N.Builder.gate b N.Nor [ pick (); pick () ]
+      | 5 -> N.Builder.gate b N.Not [ pick () ]
+      | 6 -> N.Builder.gate b N.Buf [ pick () ]
+      | 7 -> N.Builder.gate b N.Mux [ pick (); pick (); pick () ]
+      | _ -> N.Builder.gate b N.Dff [ pick () ]
+    in
+    pool := out :: !pool
+  done;
+  let n_outputs = 1 + Rng.int rng 3 in
+  for i = 0 to n_outputs - 1 do
+    N.Builder.output b (Printf.sprintf "out%d" i) (pick ())
+  done;
+  (N.Builder.finish b, inputs)
+
+let gen_vectors rng n_inputs =
+  let n_vecs = 1 + Rng.int rng 12 in
+  List.init n_vecs (fun _ -> List.init n_inputs (fun _ -> Rng.int rng 2))
+
+let test_logic_sim_equivalence () =
+  let rng = Rng.create 2024 in
+  for case = 0 to 199 do
+    let net, inputs = gen_netlist rng in
+    let vectors = gen_vectors rng (List.length inputs) in
+    let compiled = L.create net in
+    let interp = L.Interp.create net in
+    let r_compiled = L.run_vectors compiled ~inputs vectors in
+    let r_interp = L.Interp.run_vectors interp ~inputs vectors in
+    if r_compiled <> r_interp then
+      fail
+        (Printf.sprintf "case %d: compiled and interpreted outputs differ"
+           case);
+    check Alcotest.int
+      (Printf.sprintf "case %d: cycles_run" case)
+      (L.Interp.cycles_run interp)
+      (L.cycles_run compiled);
+    (* the compiled default resets first, so a second identical run is an
+       independent experiment with identical waveforms *)
+    if L.run_vectors compiled ~inputs vectors <> r_compiled then
+      fail (Printf.sprintf "case %d: second run_vectors call differed" case)
+  done
+
+let test_logic_sim_eval_equivalence () =
+  (* pure combinational evaluation (no clock): eval + output only *)
+  let rng = Rng.create 77 in
+  for case = 0 to 99 do
+    let net, inputs = gen_netlist rng in
+    let vec = List.map (fun _ -> Rng.int rng 2) inputs in
+    let compiled = L.create net in
+    let interp = L.Interp.create net in
+    List.iter2 (fun nm v -> L.set_input compiled nm v) inputs vec;
+    List.iter2 (fun nm v -> L.Interp.set_input interp nm v) inputs vec;
+    L.eval compiled;
+    L.Interp.eval interp;
+    List.iter
+      (fun (nm, _) ->
+        check Alcotest.int
+          (Printf.sprintf "case %d: output %s" case nm)
+          (L.Interp.output interp nm) (L.output compiled nm))
+      net.N.outputs
+  done
+
+(* ------------------------------------------------------------------ *)
+(* step loop vs run_fast                                               *)
+(* ------------------------------------------------------------------ *)
+
+let status_eq a b =
+  match (a, b) with
+  | Cpu.Running, Cpu.Running | Cpu.Halted, Cpu.Halted -> true
+  | Cpu.Trapped x, Cpu.Trapped y -> x = y
+  | _ -> false
+
+let show_status = function
+  | Cpu.Running -> "Running"
+  | Cpu.Halted -> "Halted"
+  | Cpu.Trapped m -> "Trapped " ^ m
+
+let test_iss_run_fast_equivalence () =
+  let mem_words = 65536 in
+  let fuel = 200_000 in
+  let n_checked = ref 0 in
+  for seed = 0 to 99 do
+    let p = Gen.behavior (Rng.create (9000 + seed)) in
+    match Codegen.compile p with
+    | exception Invalid_argument _ -> ()
+    | items, _lay -> (
+        match Asm.assemble items with
+        | exception Invalid_argument _ -> ()
+        | img ->
+            incr n_checked;
+            let trace_of () =
+              let out = ref [] in
+              let env =
+                {
+                  Cpu.default_env with
+                  Cpu.port_out = (fun pt v -> out := (pt, v) :: !out);
+                }
+              in
+              (Cpu.create ~mem_words ~env img.Asm.code, out)
+            in
+            let cpu_step, trace_step = trace_of () in
+            let cpu_fast, trace_fast = trace_of () in
+            let steps = ref 0 in
+            while Cpu.status cpu_step = Cpu.Running && !steps < fuel do
+              ignore (Cpu.step cpu_step);
+              incr steps
+            done;
+            ignore (Cpu.run_fast cpu_fast ~fuel);
+            let where what = Printf.sprintf "seed %d: %s" seed what in
+            if not (status_eq (Cpu.status cpu_step) (Cpu.status cpu_fast))
+            then
+              fail
+                (where
+                   (Printf.sprintf "status %s vs %s"
+                      (show_status (Cpu.status cpu_step))
+                      (show_status (Cpu.status cpu_fast))));
+            check Alcotest.int (where "cycles") (Cpu.cycles cpu_step)
+              (Cpu.cycles cpu_fast);
+            check Alcotest.int (where "instret") (Cpu.instret cpu_step)
+              (Cpu.instret cpu_fast);
+            check Alcotest.int (where "pc") (Cpu.pc cpu_step)
+              (Cpu.pc cpu_fast);
+            for r = 0 to Codesign_isa.Isa.n_regs - 1 do
+              if Cpu.reg cpu_step r <> Cpu.reg cpu_fast r then
+                fail
+                  (where
+                     (Printf.sprintf "reg r%d: %d vs %d" r
+                        (Cpu.reg cpu_step r) (Cpu.reg cpu_fast r)))
+            done;
+            for a = 0 to mem_words - 1 do
+              if Cpu.read_mem cpu_step a <> Cpu.read_mem cpu_fast a then
+                fail
+                  (where
+                     (Printf.sprintf "mem[%d]: %d vs %d" a
+                        (Cpu.read_mem cpu_step a) (Cpu.read_mem cpu_fast a)))
+            done;
+            if !trace_step <> !trace_fast then
+              fail (where "port traces differ"))
+  done;
+  check Alcotest.bool
+    (Printf.sprintf "most behaviours compiled (%d/100)" !n_checked)
+    true
+    (!n_checked >= 80)
+
+let () =
+  Alcotest.run "codesign_compiled"
+    [
+      ( "logic_sim",
+        [
+          Alcotest.test_case "200 random netlists: interp = compiled" `Quick
+            test_logic_sim_equivalence;
+          Alcotest.test_case "combinational eval agrees" `Quick
+            test_logic_sim_eval_equivalence;
+        ] );
+      ( "iss",
+        [
+          Alcotest.test_case "step loop = run_fast on fuzz behaviours"
+            `Quick test_iss_run_fast_equivalence;
+        ] );
+    ]

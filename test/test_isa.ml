@@ -289,6 +289,48 @@ let test_cpu_reset () =
   check Alcotest.int "memory preserved" 9 (Cpu.read_mem cpu 30);
   check Alcotest.bool "running again" true (Cpu.status cpu = Cpu.Running)
 
+let test_cpu_reset_clears_irq_and_retire () =
+  (* regression: a request line latched (and a retirement callback
+     installed) during one run must not leak into the next — a reset
+     CPU takes no interrupt until set_irq drives the line again *)
+  let src =
+    {|
+  j main
+isr:
+  li r5, 1
+  rti
+main:
+  ei
+  nop
+  nop
+  halt
+|}
+  in
+  let img = Asm.assemble (Asm.parse src) in
+  let cpu = Cpu.create img.Asm.code in
+  let retired = ref 0 in
+  Cpu.on_retire cpu (fun ~pc:_ ~cycles:_ -> incr retired);
+  (* first run: latch the level-sensitive line high and step into the
+     ISR, abandoning the run mid-flight with the line still high *)
+  Cpu.set_irq cpu true;
+  for _ = 1 to 10 do
+    ignore (Cpu.step cpu)
+  done;
+  check Alcotest.int "interrupt taken while line high" 1 (Cpu.reg cpu 5);
+  check Alcotest.bool "callback fired" true (!retired > 0);
+  Cpu.reset cpu;
+  retired := 0;
+  check Alcotest.bool "second run halts" true (Cpu.run cpu = Cpu.Halted);
+  check Alcotest.int "no stale interrupt after reset" 0 (Cpu.reg cpu 5);
+  check Alcotest.int "stale retire callback removed" 0 !retired;
+  (* the line still works when driven again after the reset *)
+  Cpu.reset cpu;
+  Cpu.set_irq cpu true;
+  for _ = 1 to 10 do
+    ignore (Cpu.step cpu)
+  done;
+  check Alcotest.int "re-driven line interrupts" 1 (Cpu.reg cpu 5)
+
 (* ------------------------------------------------------------------ *)
 (* Profiler                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -716,6 +758,8 @@ let () =
           Alcotest.test_case "irq disabled ignored" `Quick
             test_cpu_irq_disabled_ignored;
           Alcotest.test_case "reset" `Quick test_cpu_reset;
+          Alcotest.test_case "reset clears irq line + retire cb" `Quick
+            test_cpu_reset_clears_irq_and_retire;
         ] );
       ( "profiler",
         [

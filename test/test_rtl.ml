@@ -10,6 +10,11 @@ module C = Codesign_ir.Cdfg
 let check = Alcotest.check
 let fail = Alcotest.fail
 
+let astring_contains s needle =
+  let nl = String.length needle and sl = String.length s in
+  let rec at i = i + nl <= sl && (String.sub s i nl = needle || at (i + 1)) in
+  at 0
+
 (* ------------------------------------------------------------------ *)
 (* Netlist construction and validation                                 *)
 (* ------------------------------------------------------------------ *)
@@ -183,6 +188,52 @@ let test_run_vectors () =
   in
   check (Alcotest.list Alcotest.int) "and wave" [ 0; 0; 1; 0 ]
     (List.assoc "z" waves)
+
+let toggle_net () =
+  (* q' = !q: a 1-bit toggle whose output depends on carried flop state *)
+  {
+    N.name = "tgl";
+    n_nets = 4;
+    gates =
+      [
+        { N.kind = N.Dff; inputs = [ 3 ]; output = 2 };
+        { N.kind = N.Not; inputs = [ 2 ]; output = 3 };
+      ];
+    inputs = [];
+    outputs = [ ("q", 2) ];
+  }
+
+let test_run_vectors_resets_state () =
+  (* regression: run_vectors used to silently carry DFF/net state across
+     calls, so the second experiment started mid-waveform *)
+  let sim = Logic_sim.create (toggle_net ()) in
+  let vecs = [ []; []; [] ] in
+  let first = Logic_sim.run_vectors sim ~inputs:[] vecs in
+  check (Alcotest.list Alcotest.int) "first run toggles" [ 1; 0; 1 ]
+    (List.assoc "q" first);
+  let second = Logic_sim.run_vectors sim ~inputs:[] vecs in
+  check (Alcotest.list Alcotest.int) "second run is independent" [ 1; 0; 1 ]
+    (List.assoc "q" second);
+  check Alcotest.int "cycle counter restarts" 3 (Logic_sim.cycles_run sim);
+  (* opting out carries the latched state over *)
+  let carried = Logic_sim.run_vectors ~reset:false sim ~inputs:[] vecs in
+  check (Alcotest.list Alcotest.int) "~reset:false continues" [ 0; 1; 0 ]
+    (List.assoc "q" carried)
+
+let test_unknown_signal_names () =
+  let sim = Logic_sim.create (toggle_net ()) in
+  (try
+     Logic_sim.set_input sim "bogus" 1;
+     fail "expected Invalid_argument"
+   with Invalid_argument m ->
+     check Alcotest.bool "set_input names the signal" true
+       (astring_contains m "bogus" && astring_contains m "tgl"));
+  try
+    ignore (Logic_sim.output sim "nope");
+    fail "expected Invalid_argument"
+  with Invalid_argument m ->
+    check Alcotest.bool "output names the signal" true
+      (astring_contains m "nope")
 
 let test_hdl_out_netlist () =
   let s = Hdl_out.netlist (full_adder ()) in
@@ -481,6 +532,10 @@ let () =
           Alcotest.test_case "comb cycle rejected" `Quick
             test_comb_cycle_rejected;
           Alcotest.test_case "run vectors" `Quick test_run_vectors;
+          Alcotest.test_case "run vectors resets state" `Quick
+            test_run_vectors_resets_state;
+          Alcotest.test_case "unknown signal names reported" `Quick
+            test_unknown_signal_names;
           Alcotest.test_case "hdl out" `Quick test_hdl_out_netlist;
         ] );
       ( "estimate",

@@ -197,6 +197,33 @@ let test_q_peek () =
   check Alcotest.int "size" 1 (Q.size q);
   check Alcotest.bool "not empty" false (Q.is_empty q)
 
+let test_q_pop_into () =
+  (* the allocation-free drain: bounded pops honour the limit and leave
+     past-limit events queued; one slot serves the whole loop *)
+  let q = Q.create () in
+  check Alcotest.int "min_time empty" max_int (Q.min_time q);
+  let log = ref [] in
+  List.iter
+    (fun (t, tag) -> Q.push q ~time:t (fun () -> log := tag :: !log))
+    [ (5, "c"); (1, "a"); (8, "d"); (1, "b"); (12, "e") ];
+  check Alcotest.int "min_time" 1 (Q.min_time q);
+  let slot = Q.slot () in
+  while Q.pop_into q ~limit:8 slot do
+    slot.Q.s_thunk ()
+  done;
+  check
+    (Alcotest.list Alcotest.string)
+    "drained up to limit inclusive, stable at equal times"
+    [ "a"; "b"; "c"; "d" ] (List.rev !log);
+  check Alcotest.int "past-limit event remains" 1 (Q.size q);
+  check Alcotest.bool "blocked pop leaves queue untouched" false
+    (Q.pop_into q ~limit:11 slot);
+  check Alcotest.int "still there" 1 (Q.size q);
+  check Alcotest.bool "unbounded drain" true
+    (Q.pop_into q ~limit:max_int slot);
+  check Alcotest.int "slot time" 12 slot.Q.s_time;
+  check Alcotest.bool "empty" true (Q.is_empty q)
+
 (* ------------------------------------------------------------------ *)
 (* Kernel                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -275,6 +302,37 @@ let test_kernel_deadlock () =
   K.spawn ~name:"stuck" k2 (fun () ->
       K.suspend ~register:(fun _resume -> ()));
   ignore (K.run ~expect_quiescent:true k2)
+
+let test_kernel_bounded_deadlock_audit () =
+  (* a bounded run never raises by default, but the blocked processes
+     are auditable via blocked_non_daemon, and ~check_deadlock:true
+     turns a drained-queue-with-blocked-processes bounded run into the
+     same Deadlock an unbounded run reports *)
+  let mk () =
+    let k = K.create () in
+    K.spawn ~name:"starved" k (fun () ->
+        K.suspend ~register:(fun _resume -> ()));
+    K.spawn ~name:"watcher" ~daemon:true k (fun () ->
+        K.suspend ~register:(fun _resume -> ()));
+    k
+  in
+  let k = mk () in
+  let st = K.run ~until:50 k in
+  check Alcotest.int "clock coasted to bound" 50 st.K.end_time;
+  check
+    (Alcotest.list Alcotest.string)
+    "audit names the stuck non-daemon" [ "starved" ]
+    (K.blocked_non_daemon k);
+  (try
+     ignore (K.run ~until:100 ~check_deadlock:true (mk ()));
+     fail "expected Deadlock"
+   with K.Deadlock names -> check Alcotest.string "names" "starved" names);
+  (* with future events still queued past the bound there is no
+     deadlock: the simulation can progress when run again *)
+  let k3 = mk () in
+  K.at k3 ~time:80 ignore;
+  let st3 = K.run ~until:10 ~check_deadlock:true k3 in
+  check Alcotest.int "bound respected" 10 st3.K.end_time
 
 let test_kernel_not_in_process () =
   (try
@@ -652,6 +710,7 @@ let () =
             test_q_interleaved_model;
           Alcotest.test_case "negative time" `Quick test_q_negative;
           Alcotest.test_case "peek/size" `Quick test_q_peek;
+          Alcotest.test_case "pop_into bounded drain" `Quick test_q_pop_into;
           QCheck_alcotest.to_alcotest prop_q_sorted_fifo;
         ] );
       ( "kernel",
@@ -660,6 +719,8 @@ let () =
           Alcotest.test_case "interleaving" `Quick test_kernel_interleave;
           Alcotest.test_case "until bound + resume" `Quick test_kernel_until;
           Alcotest.test_case "deadlock detection" `Quick test_kernel_deadlock;
+          Alcotest.test_case "bounded-run deadlock audit" `Quick
+            test_kernel_bounded_deadlock_audit;
           Alcotest.test_case "not in process" `Quick
             test_kernel_not_in_process;
           Alcotest.test_case "negative wait" `Quick test_kernel_negative_wait;
