@@ -1,9 +1,9 @@
 (* The benchmark harness: regenerates every evaluation artifact of the
-   paper (one table per figure, EXP-1..EXP-10, EXP-A and EXP-F; see
+   paper (one table per figure, EXP-1..EXP-10, EXP-3M, EXP-A and EXP-F; see
    DESIGN.md for the index) and then runs Bechamel micro-benchmarks over
    the framework's computational kernels.
 
-   The twelve experiments are independent, so the tables phase runs them
+   The thirteen experiments are independent, so the tables phase runs them
    on a pool of OCaml 5 domains (one experiment per domain at a time);
    tables are printed in experiment order once all have finished.  Every
    run also writes a machine-readable BENCH_results.json (schema in

@@ -96,7 +96,7 @@ let experiments_cmd =
           Registry.all
     in
     if selected = [] then
-      Error (`Msg "no matching experiments (try exp1..exp10, expA)")
+      Error (`Msg "no matching experiments (try exp1..exp10, exp3m, expA, expF)")
     else if json then begin
       let records =
         List.map (fun e -> snd (measure_experiment ~quick e)) selected
@@ -259,22 +259,50 @@ let cosim_cmd =
       & info [ "level" ] ~docv:"LEVEL"
           ~doc:"Abstraction: pin | tlm | driver | message.")
   in
+  let levels =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "levels" ] ~docv:"SRC:CPU:SINK"
+          ~doc:
+            "Mixed per-component assignment: abstraction of the \
+             source-side interface, the software model, and the \
+             sink-side interface, each pin | tlm | driver | message \
+             (e.g. pin:tlm:message).  Overrides $(b,--level).")
+  in
   let items =
     Arg.(value & opt int 16 & info [ "items" ] ~docv:"N" ~doc:"Stream length.")
   in
-  let run level items json =
-    let m, wall_s = Obs.Clock.time (fun () -> Cosim.run_echo_system ~level ~items ()) in
+  let run level levels items json =
+    let assignment =
+      match levels with
+      | None -> Ok (Cosim.pure level)
+      | Some s -> Cosim.parse_assignment s
+    in
+    match assignment with
+    | Error e -> prerr_endline ("cosim: " ^ e); exit 2
+    | Ok levels ->
+    let m, wall_s =
+      Obs.Clock.time (fun () -> Cosim.run_echo_assignment ~levels ~items ())
+    in
     let outcome_str =
       match m.Cosim.outcome with
       | Cosim.Completed -> "completed"
       | Cosim.Not_halted reason -> "not-halted: " ^ reason
+    in
+    let shown =
+      if Cosim.is_pure m.Cosim.assignment then
+        Cosim.level_name m.Cosim.level
+      else Cosim.assignment_name m.Cosim.assignment
     in
     if json then
       print_endline
         (Obs.Json.to_string ~pretty:true
            (Obs.Json.Obj
               [
-                ("level", Obs.Json.Str (Cosim.level_name m.Cosim.level));
+                ("level", Obs.Json.Str shown);
+                ("levels",
+                 Obs.Json.Str (Cosim.assignment_name m.Cosim.assignment));
                 ("outcome", Obs.Json.Str outcome_str);
                 ("items", Obs.Json.Int items);
                 ("wall_s", Obs.Json.Float wall_s);
@@ -288,13 +316,15 @@ let cosim_cmd =
       Printf.printf
         "%s (%s): checksum %d, %d simulated cycles, %d kernel events, %d bus \
          ops\n"
-        (Cosim.level_name m.Cosim.level)
-        outcome_str m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events
+        shown outcome_str m.Cosim.checksum m.Cosim.sim_cycles m.Cosim.events
         m.Cosim.bus_ops
   in
   Cmd.v
-    (Cmd.info "cosim" ~doc:"Co-simulate the echo system at a given level.")
-    Term.(const run $ level $ items $ json_arg)
+    (Cmd.info "cosim"
+       ~doc:
+         "Co-simulate the echo system at a given level, or a mixed \
+          per-component level assignment.")
+    Term.(const run $ level $ levels $ items $ json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

@@ -55,10 +55,27 @@ let decode t addr =
   done;
   !found
 
+(* one line of mapped windows so a decode miss is debuggable from the
+   message alone *)
+let describe_windows t =
+  if Array.length t.sorted = 0 then "no mapped regions"
+  else
+    String.concat ", "
+      (Array.to_list
+         (Array.map
+            (fun r ->
+              Printf.sprintf "%s [0x%x..0x%x]" r.name r.base
+                (r.base + r.size - 1))
+            t.sorted))
+
+let unmapped t what addr =
+  invalid_arg
+    (Printf.sprintf "Memory_map.%s: unmapped address %d (0x%x); mapped: %s"
+       what addr addr (describe_windows t))
+
 let read t addr =
   match decode t addr with
-  | None ->
-      invalid_arg (Printf.sprintf "Memory_map.read: unmapped address %d" addr)
+  | None -> unmapped t "read" addr
   | Some (r, off) -> (
       match r.kind with
       | Ram a | Rom a -> a.(off)
@@ -66,9 +83,7 @@ let read t addr =
 
 let write t addr v =
   match decode t addr with
-  | None ->
-      invalid_arg
-        (Printf.sprintf "Memory_map.write: unmapped address %d" addr)
+  | None -> unmapped t "write" addr
   | Some (r, off) -> (
       match r.kind with
       | Ram a -> a.(off) <- v

@@ -33,10 +33,12 @@ val decode : t -> int -> (region * int) option
 
 val read : t -> int -> int
 (** Functional read (no timing).  ROM/RAM return the cell; devices call
-    [dev_read].  @raise Invalid_argument on unmapped addresses. *)
+    [dev_read].  @raise Invalid_argument on unmapped addresses, naming
+    every mapped window (name + address range). *)
 
 val write : t -> int -> int -> unit
-(** Functional write.  Writes to ROM raise; unmapped addresses raise. *)
+(** Functional write.  Writes to ROM raise; unmapped addresses raise,
+    naming every mapped window (name + address range). *)
 
 val wait_states : t -> int -> int
 (** Device wait states at an address (0 for memory and unmapped). *)

@@ -1,0 +1,243 @@
+module K = Codesign_sim.Kernel
+module Ch = Codesign_sim.Channel
+
+type level = Pin | Transaction | Driver | Message
+
+let all_levels = [ Pin; Transaction; Driver; Message ]
+
+let level_name = function
+  | Pin -> "pin/signal"
+  | Transaction -> "bus transaction"
+  | Driver -> "driver call"
+  | Message -> "send/receive/wait"
+
+let short_name = function
+  | Pin -> "pin"
+  | Transaction -> "tlm"
+  | Driver -> "driver"
+  | Message -> "message"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "pin" -> Ok Pin
+  | "tlm" | "transaction" -> Ok Transaction
+  | "driver" -> Ok Driver
+  | "message" | "msg" -> Ok Message
+  | other ->
+      Error
+        (Printf.sprintf
+           "unknown interface level %S (expected pin | tlm | driver | \
+            message)"
+           other)
+
+let rank = function Pin -> 0 | Transaction -> 1 | Driver -> 2 | Message -> 3
+
+type stats = {
+  ops : int;
+  reads : int;
+  writes : int;
+  stalls : int;
+  busy_cycles : int;
+}
+
+let zero_stats = { ops = 0; reads = 0; writes = 0; stalls = 0; busy_cycles = 0 }
+
+type t = {
+  level : level;
+  read : int -> int;
+  write : int -> int -> unit;
+  wait_ready : int -> unit;
+  stats : unit -> stats;
+}
+
+(* ------------------------------------------------------------------ *)
+(* bus-backed rungs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let of_bus_iface ~level ?(poll_interval = 8) (iface : Bus.iface) =
+  {
+    level;
+    read = iface.Bus.bus_read;
+    write = iface.Bus.bus_write;
+    wait_ready =
+      (fun addr ->
+        let rec poll () =
+          if iface.Bus.bus_read addr > 0 then ()
+          else begin
+            K.wait poll_interval;
+            poll ()
+          end
+        in
+        poll ());
+    stats =
+      (fun () ->
+        let s = iface.Bus.bus_stats () in
+        {
+          ops = s.Bus.reads + s.Bus.writes;
+          reads = s.Bus.reads;
+          writes = s.Bus.writes;
+          stalls = s.Bus.stalls;
+          busy_cycles = s.Bus.busy_cycles;
+        });
+  }
+
+let pin ?setup_cycles ?poll_interval kernel map =
+  of_bus_iface ~level:Pin ?poll_interval
+    (Bus.pin_iface (Bus.Pin.create ?setup_cycles kernel map))
+
+let tlm ?read_latency ?write_latency ?poll_interval kernel map =
+  of_bus_iface ~level:Transaction ?poll_interval
+    (Bus.tlm_iface (Bus.Tlm.create ?read_latency ?write_latency kernel map))
+
+(* ------------------------------------------------------------------ *)
+(* driver-call rung                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let driver ?(call_cost = 6) ?(poll_interval = 8) map =
+  let reads = ref 0 and writes = ref 0 in
+  {
+    level = Driver;
+    read =
+      (fun addr ->
+        incr reads;
+        K.wait call_cost;
+        Memory_map.read map addr);
+    write =
+      (fun addr v ->
+        incr writes;
+        K.wait call_cost;
+        Memory_map.write map addr v);
+    wait_ready =
+      (fun addr ->
+        (* device readiness is observed functionally: the status spins
+           are not driver entries and generate no bus traffic *)
+        let rec poll () =
+          if Memory_map.read map addr > 0 then ()
+          else begin
+            K.wait poll_interval;
+            poll ()
+          end
+        in
+        poll ());
+    stats =
+      (fun () ->
+        {
+          ops = !reads + !writes;
+          reads = !reads;
+          writes = !writes;
+          stalls = 0;
+          busy_cycles = 0;
+        });
+  }
+
+(* ------------------------------------------------------------------ *)
+(* send/receive/wait rung                                              *)
+(* ------------------------------------------------------------------ *)
+
+type msg_endpoint = Recv_ep of int Ch.t | Send_ep of int Ch.t
+
+let message ?(recv = []) ?(send = []) () =
+  let endpoints =
+    List.map (fun (base, c) -> (base, Recv_ep c)) recv
+    @ List.map (fun (base, c) -> (base, Send_ep c)) send
+  in
+  let lookup addr =
+    (* [addr] may be a status (base) or data (base + 1) register *)
+    match List.assoc_opt addr endpoints with
+    | Some ep -> (ep, `Status)
+    | None -> (
+        match List.assoc_opt (addr - 1) endpoints with
+        | Some ep -> (ep, `Data)
+        | None ->
+            invalid_arg
+              (Printf.sprintf
+                 "Transport.message: address %d is bound to no channel \
+                  endpoint"
+                 addr))
+  in
+  let would_proceed = function
+    | Recv_ep c -> Ch.occupancy c > 0
+    | Send_ep c -> Ch.occupancy c < Ch.depth c
+  in
+  {
+    level = Message;
+    read =
+      (fun addr ->
+        match lookup addr with
+        | ep, `Status -> if would_proceed ep then 1 else 0
+        | Recv_ep c, `Data -> Ch.recv c
+        | Send_ep _, `Data ->
+            invalid_arg "Transport.message: read from a send endpoint");
+    write =
+      (fun addr v ->
+        match lookup addr with
+        | Send_ep c, `Data -> Ch.send c v
+        | Recv_ep _, `Data ->
+            invalid_arg "Transport.message: write to a receive endpoint"
+        | _, `Status ->
+            invalid_arg "Transport.message: write to a status register");
+    (* data operations block on the channel themselves; a separate wait
+       would double-count the synchronisation *)
+    wait_ready = (fun _ -> ());
+    stats = (fun () -> zero_stats);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* transactors                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let view t ~as_ =
+  if rank as_ < rank t.level then
+    invalid_arg
+      (Printf.sprintf
+         "Transport.view: cannot present a %s transport at the more \
+          detailed %s level"
+         (short_name t.level) (short_name as_))
+  else { t with level = as_ }
+
+module Mailbox = struct
+  type t = {
+    fifo : int Queue.t;
+    depth : int;
+    mutable delivered : int;
+  }
+
+  let create ?(name = "mailbox") ?(depth = 4) kernel chan =
+    let t = { fifo = Queue.create (); depth; delivered = 0 } in
+    (* the pump never terminates by itself — it is infrastructure, not a
+       process under test, so it must not count towards deadlock *)
+    K.spawn ~name ~daemon:true kernel (fun () ->
+        let rec pump () =
+          let v = Ch.recv chan in
+          let rec wait_space () =
+            if Queue.length t.fifo >= t.depth then begin
+              K.wait 8;
+              wait_space ()
+            end
+          in
+          wait_space ();
+          Queue.push v t.fifo;
+          t.delivered <- t.delivered + 1;
+          pump ()
+        in
+        pump ());
+    t
+
+  let region ~name ~base t =
+    let dev_read = function
+      | 0 -> Queue.length t.fifo
+      | 1 -> ( match Queue.take_opt t.fifo with Some v -> v | None -> 0)
+      | _ -> 0
+    in
+    Memory_map.device ~name ~base ~size:2
+      (Memory_map.simple_handlers dev_read (fun _ _ -> ()))
+
+  let delivered t = t.delivered
+end
+
+let stream_to_channel ?(name = "stream_pump") kernel t ~base ~count chan =
+  K.spawn ~name kernel (fun () ->
+      for _ = 1 to count do
+        t.wait_ready base;
+        Ch.send chan (t.read (base + 1))
+      done)

@@ -4,23 +4,47 @@ module K = Codesign_sim.Kernel
 module Ch = Codesign_sim.Channel
 module M = Codesign_bus.Memory_map
 module Bus = Codesign_bus.Bus
+module T = Codesign_bus.Transport
 module Device = Codesign_bus.Device
 module Cpu = Codesign_isa.Cpu
 module Codegen = Codesign_isa.Codegen
 module Asm = Codesign_isa.Asm
 
-type level = Pin | Transaction | Driver | Message
+type level = T.level = Pin | Transaction | Driver | Message
 
-let level_name = function
-  | Pin -> "pin/signal"
-  | Transaction -> "bus transaction"
-  | Driver -> "driver call"
-  | Message -> "send/receive/wait"
+let all_levels = T.all_levels
+let level_name = T.level_name
+
+type assignment = { src : level; cpu : level; sink : level }
+
+let pure level = { src = level; cpu = level; sink = level }
+let is_pure a = a.cpu = a.src && a.cpu = a.sink
+
+let assignment_name a =
+  Printf.sprintf "%s:%s:%s" (T.short_name a.src) (T.short_name a.cpu)
+    (T.short_name a.sink)
+
+let parse_assignment s =
+  match String.split_on_char ':' s with
+  | [ one ] -> Result.map pure (T.level_of_string one)
+  | [ s1; s2; s3 ] ->
+      Result.bind (T.level_of_string s1) (fun src ->
+          Result.bind (T.level_of_string s2) (fun cpu ->
+              Result.map
+                (fun sink -> { src; cpu; sink })
+                (T.level_of_string s3)))
+  | _ ->
+      Error
+        (Printf.sprintf
+           "bad level assignment %S (expected LEVEL or SRC:CPU:SINK)" s)
+
+let ladder_position a = T.rank a.src + T.rank a.cpu + T.rank a.sink
 
 type outcome = Completed | Not_halted of string
 
 type metrics = {
   level : level;
+  assignment : assignment;
   outcome : outcome;
   checksum : int;
   sim_cycles : int;
@@ -90,183 +114,218 @@ let echo_app ~items ~work =
 let src_base = 0x10000
 let sink_base = 0x10010
 
-let run_cpu_level ~level ~items ~work ~src_period ~sink_period =
+(* statement cost used for approximate software timing at Message level *)
+let message_sw_stmt_cycles = 8
+
+(* One generic pipeline over the whole Fig. 3 grid.  Each component of
+   the assignment picks the transport modelling its interface (src and
+   sink) or the software model itself (cpu): everything past
+   construction is level-blind — it talks to a {!Transport.t}.
+
+   The four pure assignments are required to be observationally
+   identical (same metrics, byte for byte) to the dedicated per-level
+   runners this function replaced, so construction and spawn order below
+   deliberately mirror them: source-side component, sink-side component,
+   message endpoint processes, memory map, transports (a shared one when
+   both interfaces sit on the same bus rung), software last. *)
+let run_echo_assignment ~levels ?(wrap = fun t -> t) ?(items = 16)
+    ?(work = 8) ?(src_period = 200) ?(sink_period = 120) () =
+  let { src = src_lvl; cpu = cpu_lvl; sink = sink_lvl } = levels in
   let k = K.create () in
-  (* the FIFO holds the full stream so a slow consumer loses nothing *)
-  let src =
-    Device.Stream_src.create ~depth:items ~period:src_period ~count:items
-      ~gen:(fun i -> ((i * 7) mod 23) - 5)
-      k ()
+  let gen i = ((i * 7) mod 23) - 5 in
+  (* source side: a bus-mapped stream device, or a kernel channel fed by
+     a producer process when the interface is at Message level.  The
+     device FIFO holds the full stream so a slow consumer loses
+     nothing. *)
+  let src_dev, c_in =
+    match src_lvl with
+    | Message -> (None, Some (Ch.create ~depth:4 ~name:"in" k () : int Ch.t))
+    | _ ->
+        ( Some
+            (Device.Stream_src.create ~depth:items ~period:src_period
+               ~count:items ~gen k ()),
+          None )
   in
-  let sink = Device.Stream_sink.create ~period:sink_period k () in
-  let map =
-    M.create
-      [
-        Device.Stream_src.region ~name:"src" ~base:src_base src;
-        Device.Stream_sink.region ~name:"sink" ~base:sink_base sink;
-      ]
+  let sink_dev, c_out =
+    match sink_lvl with
+    | Message ->
+        (None, Some (Ch.create ~depth:4 ~name:"out" k () : int Ch.t))
+    | _ -> (Some (Device.Stream_sink.create ~period:sink_period k ()), None)
   in
-  let driver_call_cost = 6 (* lumped cost of one driver entry *) in
-  let driver_ops = ref 0 in
-  let env, bus_ops =
-    match level with
-    | Pin | Transaction ->
-        (* every register access is an individual, timed bus transfer;
-           the polled driver's status spins are real bus traffic *)
-        let iface =
-          match level with
-          | Pin -> Bus.pin_iface (Bus.Pin.create k map)
-          | _ -> Bus.tlm_iface (Bus.Tlm.create k map)
+  let msg_checksum = ref 0 in
+  let sink_done_at = ref 0 in
+  (match c_in with
+  | Some c ->
+      K.spawn ~name:"source" k (fun () ->
+          for i = 0 to items - 1 do
+            K.wait src_period;
+            Ch.send c (gen i)
+          done)
+  | None -> ());
+  (match c_out with
+  | Some c ->
+      K.spawn ~name:"sink" k (fun () ->
+          for _ = 1 to items do
+            let v = Ch.recv c in
+            msg_checksum := !msg_checksum + v;
+            K.wait sink_period
+          done;
+          sink_done_at := K.now k)
+  | None -> ());
+  let regions =
+    (match src_dev with
+    | Some d -> [ Device.Stream_src.region ~name:"src" ~base:src_base d ]
+    | None -> [])
+    @
+    match sink_dev with
+    | Some d -> [ Device.Stream_sink.region ~name:"sink" ~base:sink_base d ]
+    | None -> []
+  in
+  let map = if regions = [] then None else Some (M.create regions) in
+  (* bus-rung transports are memoized per level: when both interfaces
+     sit on the same rung they share one bus, exactly as the pure-level
+     system had *)
+  let made : (level * T.t) list ref = ref [] in
+  let bus_transport lvl =
+    match List.assoc_opt lvl !made with
+    | Some t -> t
+    | None ->
+        let m = Option.get map in
+        let t =
+          wrap
+            (match lvl with
+            | Pin -> T.pin k m
+            | Transaction -> T.tlm k m
+            | Driver -> T.driver m
+            | Message -> assert false)
         in
-        ( {
-            Cpu.default_env with
-            Cpu.port_in =
-              (fun _port ->
-                let rec poll () =
-                  if iface.Bus.bus_read src_base > 0 then ()
-                  else begin
-                    K.wait 8;
-                    poll ()
-                  end
-                in
-                poll ();
-                iface.Bus.bus_read (src_base + 1));
-            port_out =
-              (fun _port v ->
-                let rec poll () =
-                  if iface.Bus.bus_read sink_base > 0 then ()
-                  else begin
-                    K.wait 8;
-                    poll ()
-                  end
-                in
-                poll ();
-                iface.Bus.bus_write (sink_base + 1) v);
-          },
-          fun () ->
-            (iface.Bus.bus_stats ()).Bus.reads
-            + (iface.Bus.bus_stats ()).Bus.writes )
-    | Driver ->
-        (* abstraction: one lumped driver call per transfer — status
-           polling and the data access are not individual bus events;
-           the call costs a fixed overhead and device readiness is
-           observed functionally *)
-        ( {
-            Cpu.default_env with
-            Cpu.port_in =
-              (fun _port ->
-                incr driver_ops;
-                let rec wait_ready () =
-                  if M.read map src_base > 0 then ()
-                  else begin
-                    K.wait 8;
-                    wait_ready ()
-                  end
-                in
-                wait_ready ();
-                K.wait driver_call_cost;
-                M.read map (src_base + 1));
-            port_out =
-              (fun _port v ->
-                incr driver_ops;
-                let rec wait_ready () =
-                  if M.read map sink_base > 0 then ()
-                  else begin
-                    K.wait 8;
-                    wait_ready ()
-                  end
-                in
-                wait_ready ();
-                K.wait driver_call_cost;
-                M.write map (sink_base + 1) v);
-          },
-          fun () -> !driver_ops )
-    | Message -> assert false
+        made := !made @ [ (lvl, t) ];
+        t
   in
-  let items_code, lay = Codegen.compile (echo_app ~items ~work) in
-  let img = Asm.assemble items_code in
-  let cpu = Cpu.create ~env img.Asm.code in
-  let done_at = ref 0 in
-  K.spawn ~name:"cpu" k (fun () ->
-      while Cpu.status cpu = Cpu.Running do
-        let cy = Cpu.step cpu in
-        if cy > 0 then K.wait cy
-      done;
-      done_at := K.now k);
-  let st = K.run ~until:50_000_000 ~expect_quiescent:true k in
+  let tr_src =
+    match (src_lvl, c_in) with
+    | Message, Some c -> wrap (T.message ~recv:[ (src_base, c) ] ())
+    | _ -> bus_transport src_lvl
+  in
+  let tr_sink =
+    match (sink_lvl, c_out) with
+    | Message, Some c -> wrap (T.message ~send:[ (sink_base, c) ] ())
+    | _ -> bus_transport sink_lvl
+  in
+  let transports =
+    if tr_sink == tr_src then [ tr_src ] else [ tr_src; tr_sink ]
+  in
+  let bus_ops () =
+    List.fold_left (fun a t -> a + (t.T.stats ()).T.ops) 0 transports
+  in
+  (* software more abstract than an interface sees the detailed medium
+     through the re-labelling transactor: its blocking accesses expand
+     into the medium's own protocol underneath *)
+  let present tr =
+    if T.rank cpu_lvl > T.rank tr.T.level then T.view tr ~as_:cpu_lvl
+    else tr
+  in
+  let io_src = present tr_src and io_sink = present tr_sink in
+  let port_in () =
+    io_src.T.wait_ready src_base;
+    io_src.T.read (src_base + 1)
+  in
+  let port_out v =
+    io_sink.T.wait_ready sink_base;
+    io_sink.T.write (sink_base + 1) v
+  in
+  let cpu_done_at = ref 0 in
+  let sw_done = ref false in
+  let iss =
+    match cpu_lvl with
+    | Message ->
+        (* no ISS: the behaviour interprets with statement-approximate
+           timing, as communicating-process software *)
+        K.spawn ~name:"sw" k (fun () ->
+            let io =
+              {
+                B.null_io with
+                B.port_in = (fun _ -> port_in ());
+                port_out = (fun _ v -> port_out v);
+              }
+            in
+            ignore
+              (B.run ~io
+                 ~tick:(fun () -> K.wait message_sw_stmt_cycles)
+                 (echo_app ~items ~work) []);
+            sw_done := true;
+            cpu_done_at := K.now k);
+        None
+    | _ ->
+        let env =
+          {
+            Cpu.default_env with
+            Cpu.port_in = (fun _port -> port_in ());
+            port_out = (fun _port v -> port_out v);
+          }
+        in
+        let items_code, lay = Codegen.compile (echo_app ~items ~work) in
+        let img = Asm.assemble items_code in
+        let cpu = Cpu.create ~env img.Asm.code in
+        K.spawn ~name:"cpu" k (fun () ->
+            while Cpu.status cpu = Cpu.Running do
+              let cy = Cpu.step cpu in
+              if cy > 0 then K.wait cy
+            done;
+            cpu_done_at := K.now k);
+        Some (cpu, lay)
+  in
+  let pure_message =
+    src_lvl = Message && cpu_lvl = Message && sink_lvl = Message
+  in
+  let st =
+    if pure_message then K.run k
+    else K.run ~until:50_000_000 ~expect_quiescent:true k
+  in
   let outcome =
-    match Cpu.status cpu with
-    | Cpu.Halted -> Completed
-    | Cpu.Running ->
-        Not_halted "timeout: CPU still running at simulation bound"
-    | Cpu.Trapped m -> Not_halted ("trapped: " ^ m)
+    match iss with
+    | Some (cpu, _) -> (
+        match Cpu.status cpu with
+        | Cpu.Halted -> Completed
+        | Cpu.Running ->
+            Not_halted "timeout: CPU still running at simulation bound"
+        | Cpu.Trapped m -> Not_halted ("trapped: " ^ m))
+    | None ->
+        if pure_message || !sw_done then Completed
+        else Not_halted "timeout: software still running at simulation bound"
   in
   let checksum =
-    List.fold_left ( + ) 0 (Device.Stream_sink.accepted sink)
+    match sink_dev with
+    | Some d -> List.fold_left ( + ) 0 (Device.Stream_sink.accepted d)
+    | None -> !msg_checksum
   in
   (* cross-check against the software's own accumulator (only meaningful
      once the program ran to completion) *)
-  if outcome = Completed then
-    assert (checksum = Codegen.result lay cpu "sum");
+  (match iss with
+  | Some (cpu, lay) when outcome = Completed ->
+      assert (checksum = Codegen.result lay cpu "sum")
+  | _ -> ());
+  let sim_cycles =
+    match (iss, c_out) with
+    | Some _, _ -> if outcome = Completed then !cpu_done_at else K.now k
+    | None, Some _ -> !sink_done_at
+    | None, None -> if !sw_done then !cpu_done_at else K.now k
+  in
   {
-    level;
+    level = cpu_lvl;
+    assignment = levels;
     outcome;
     checksum;
-    sim_cycles = (if outcome = Completed then !done_at else K.now k);
+    sim_cycles;
     events = st.K.events;
     activations = st.K.activations;
     bus_ops = bus_ops ();
   }
 
-(* statement cost used for approximate software timing at Message level *)
-let message_sw_stmt_cycles = 8
-
-let run_message_level ~items ~work ~src_period ~sink_period =
-  let k = K.create () in
-  let c_in : int Ch.t = Ch.create ~depth:4 ~name:"in" k () in
-  let c_out : int Ch.t = Ch.create ~depth:4 ~name:"out" k () in
-  K.spawn ~name:"source" k (fun () ->
-      for i = 0 to items - 1 do
-        K.wait src_period;
-        Ch.send c_in (((i * 7) mod 23) - 5)
-      done);
-  let checksum = ref 0 in
-  let done_at = ref 0 in
-  K.spawn ~name:"sink" k (fun () ->
-      for _ = 1 to items do
-        let v = Ch.recv c_out in
-        checksum := !checksum + v;
-        K.wait sink_period
-      done;
-      done_at := K.now k);
-  K.spawn ~name:"sw" k (fun () ->
-      let io =
-        {
-          B.null_io with
-          B.port_in = (fun _ -> Ch.recv c_in);
-          port_out = (fun _ v -> Ch.send c_out v);
-        }
-      in
-      ignore
-        (B.run ~io
-           ~tick:(fun () -> K.wait message_sw_stmt_cycles)
-           (echo_app ~items ~work) []));
-  let st = K.run k in
-  {
-    level = Message;
-    outcome = Completed;
-    checksum = !checksum;
-    sim_cycles = !done_at;
-    events = st.K.events;
-    activations = st.K.activations;
-    bus_ops = 0;
-  }
-
 let run_echo_system ~level ?(items = 16) ?(work = 8) ?(src_period = 200)
     ?(sink_period = 120) () =
-  match level with
-  | Message -> run_message_level ~items ~work ~src_period ~sink_period
-  | _ -> run_cpu_level ~level ~items ~work ~src_period ~sink_period
+  run_echo_assignment ~levels:(pure level) ~items ~work ~src_period
+    ~sink_period ()
 
 (* ------------------------------------------------------------------ *)
 (* Process-network execution                                           *)

@@ -21,6 +21,19 @@
     claims the ladder trades: timing fidelity against simulation cost
     (kernel events / process activations).
 
+    {2 Mixed-level assignments}
+
+    The paper's Fig. 3 point is that real co-simulators mix levels {e per
+    component}.  {!run_echo_assignment} generalises the ladder run to a
+    per-component {!assignment}: [src] picks the
+    {!Codesign_bus.Transport.t} modelling the source→CPU interface,
+    [sink] the CPU→sink interface, and [cpu] the software model itself
+    ({!Message} interprets the behaviour with statement-approximate
+    timing; any other level runs the ISS).  The four pure assignments
+    are observationally identical — metrics byte-for-byte — to the
+    dedicated per-level runners they replaced, and every assignment
+    computes the same functional checksum; only cost and timing move.
+
     {2 Process-network execution}
 
     {!run_network} executes a {!Codesign_ir.Process_network}: software
@@ -31,9 +44,39 @@
     engines (one FSMD controller each — the multi-threaded co-processor
     of §4.6).  Channels are the kernel's blocking FIFOs. *)
 
-type level = Pin | Transaction | Driver | Message
+type level = Codesign_bus.Transport.level =
+  | Pin
+  | Transaction
+  | Driver
+  | Message
+
+val all_levels : level list
+(** Most detailed first: [[Pin; Transaction; Driver; Message]]. *)
 
 val level_name : level -> string
+
+(** {2 Level assignments} *)
+
+type assignment = { src : level; cpu : level; sink : level }
+(** One Fig. 3 grid point: the abstraction level of the source→CPU
+    interface, of the software model, and of the CPU→sink interface. *)
+
+val pure : level -> assignment
+(** Every component at the same rung — the classic ladder. *)
+
+val is_pure : assignment -> bool
+
+val assignment_name : assignment -> string
+(** CLI spelling, e.g. ["pin:tlm:message"]. *)
+
+val parse_assignment : string -> (assignment, string) result
+(** Inverse of {!assignment_name}; a single level name means
+    {!pure}. *)
+
+val ladder_position : assignment -> int
+(** Sum of the component ranks, 0 (all-pin) .. 9 (all-message) — the
+    grid's abstraction coordinate.  Simulation cost (events,
+    activations) decreases along it. *)
 
 type outcome =
   | Completed
@@ -45,6 +88,9 @@ type outcome =
 
 type metrics = {
   level : level;
+      (** the software-model level ([assignment.cpu]); for pure
+          assignments this is the classic ladder rung *)
+  assignment : assignment;
   outcome : outcome;
   checksum : int;
       (** functional output (identical across levels when [Completed];
@@ -55,6 +101,23 @@ type metrics = {
   bus_ops : int;  (** bus/driver accesses performed (0 at Message) *)
 }
 
+val run_echo_assignment :
+  levels:assignment ->
+  ?wrap:(Codesign_bus.Transport.t -> Codesign_bus.Transport.t) ->
+  ?items:int ->
+  ?work:int ->
+  ?src_period:int ->
+  ?sink_period:int ->
+  unit ->
+  metrics
+(** The generic pipeline: one echo system with each component at its
+    assigned level.  [wrap] intercepts every transport as it is created
+    (identity by default) — the fault layer's injection hook.  Defaults
+    as {!run_echo_system}.  All assignments compute the same [checksum];
+    [events]/[activations] fall as any component moves up the ladder,
+    and [bus_ops] is zero exactly when both interfaces are at
+    {!Message}. *)
+
 val run_echo_system :
   level:level ->
   ?items:int ->
@@ -63,10 +126,10 @@ val run_echo_system :
   ?sink_period:int ->
   unit ->
   metrics
-(** Defaults: 16 items, transform work 8, source period 200, sink
-    period 120.  The sink period exceeding the bus latency makes device
-    wait states material, which is what separates {!Pin} from
-    {!Transaction} timing. *)
+(** [run_echo_assignment ~levels:(pure level)].  Defaults: 16 items,
+    transform work 8, source period 200, sink period 120.  The sink
+    period exceeding the bus latency makes device wait states material,
+    which is what separates {!Pin} from {!Transaction} timing. *)
 
 (** {2 Process networks} *)
 

@@ -24,6 +24,8 @@ let all =
       run = (fun ~quick () -> Exp_fig2.run ~quick ()) };
     { exp_id = "EXP-3"; cli_name = "exp3";
       run = (fun ~quick () -> Exp_fig3.run ~quick ()) };
+    { exp_id = "EXP-3M"; cli_name = "exp3m";
+      run = (fun ~quick () -> Exp_fig3m.run ~quick ()) };
     { exp_id = "EXP-4"; cli_name = "exp4";
       run = (fun ~quick () -> Exp_fig4.run ~quick ()) };
     { exp_id = "EXP-5"; cli_name = "exp5";

@@ -1,6 +1,7 @@
 module K = Codesign_sim.Kernel
 module M = Codesign_bus.Memory_map
 module Bus = Codesign_bus.Bus
+module T = Codesign_bus.Transport
 module Interrupt = Codesign_bus.Interrupt
 module N = Codesign_rtl.Netlist
 module L = Codesign_rtl.Logic_sim
@@ -60,12 +61,12 @@ let raw_cell ~seed ~ops ~rate mechanism : FR.cell =
   let uses_token = mechanism = Token || mechanism = Degrade in
   let fb_pin =
     if uses_pin then
-      Some (Faulty_bus.create k inj (Bus.pin_iface (Bus.Pin.create k map)))
+      Some (Faulty_bus.create k inj (T.pin k map))
     else None
   in
   let fb_tlm =
     if uses_tlm then
-      Some (Faulty_bus.create k inj (Bus.tlm_iface (Bus.Tlm.create k map)))
+      Some (Faulty_bus.create k inj (T.tlm k map))
     else None
   in
   let rel = if uses_token then Some (Faulty_chan.create k inj ()) else None in

@@ -1,5 +1,6 @@
 module K = Codesign_sim.Kernel
 module Rng = Codesign_ir.Rng
+module T = Codesign_bus.Transport
 module Checksum = Codesign_obs.Checksum
 
 type error = Corrupt | Timeout
@@ -8,7 +9,7 @@ type kind = Flip of int | Drop | Stuck
 type t = {
   k : K.t;
   inj : Injector.t;
-  iface : Codesign_bus.Bus.iface;
+  tr : T.t;
   hang : int;
   timeout : int;
   stuck_cycles : int;
@@ -17,11 +18,11 @@ type t = {
   mutable stuck_val : int;
 }
 
-let create ?(hang = 2000) ?(timeout = 64) ?(stuck_cycles = 600) k inj iface =
+let create ?(hang = 2000) ?(timeout = 64) ?(stuck_cycles = 600) k inj tr =
   {
     k;
     inj;
-    iface;
+    tr;
     hang;
     timeout;
     stuck_cycles;
@@ -73,7 +74,7 @@ let det t = Injector.detected_event t.inj Injector.Bus ~time:(K.now t.k)
 (* ------------------------------------------------------------------ *)
 
 let raw_read t a =
-  let v = apply_stuck t (t.iface.bus_read a) in
+  let v = apply_stuck t (t.tr.T.read a) in
   match draw_kind t with
   | None -> v
   | Some (Flip b) ->
@@ -88,14 +89,14 @@ let raw_read t a =
 let raw_write t a v =
   let v = apply_stuck t v in
   match draw_kind t with
-  | None -> t.iface.bus_write a v
+  | None -> t.tr.T.write a v
   | Some (Flip b) ->
       inj t;
-      t.iface.bus_write a (v lxor (1 lsl b))
+      t.tr.T.write a (v lxor (1 lsl b))
   | Some Drop ->
       inj t;
       K.wait t.hang
-  | Some Stuck -> t.iface.bus_write a (apply_stuck t v)
+  | Some Stuck -> t.tr.T.write a (apply_stuck t v)
 
 (* ------------------------------------------------------------------ *)
 (* checked (bus-transaction) view: parity tags + bounded timeouts      *)
@@ -109,7 +110,7 @@ let check t ~tag v =
   else Ok v
 
 let read t a =
-  let true_v = t.iface.bus_read a in
+  let true_v = t.tr.T.read a in
   let tag = tag_of true_v in
   let v = apply_stuck t true_v in
   match draw_kind t with
@@ -126,9 +127,9 @@ let read t a =
 
 let write t a v =
   let deliver v' =
-    t.iface.bus_write a v';
+    t.tr.T.write a v';
     (* read-back verify; an open stuck window corrupts this too *)
-    let r = apply_stuck t (t.iface.bus_read a) in
+    let r = apply_stuck t (t.tr.T.read a) in
     if r <> v then begin
       det t;
       Error Corrupt
@@ -147,3 +148,24 @@ let write t a v =
       det t;
       Error Timeout
   | Some Stuck -> deliver (apply_stuck t v0)
+
+(* ------------------------------------------------------------------ *)
+(* the faulty medium as a transport                                    *)
+(* ------------------------------------------------------------------ *)
+
+let raw_transport t =
+  {
+    t.tr with
+    T.read = raw_read t;
+    write = raw_write t;
+    wait_ready =
+      (fun addr ->
+        let rec poll () =
+          if raw_read t addr > 0 then ()
+          else begin
+            K.wait 8;
+            poll ()
+          end
+        in
+        poll ());
+  }

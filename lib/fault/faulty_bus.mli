@@ -1,6 +1,6 @@
-(** A fault-injecting wrapper around a {!Codesign_bus.Bus.iface}, with
-    two views of the same faulty medium — one per rung of the Fig. 3
-    interface ladder:
+(** A fault-injecting wrapper around a {!Codesign_bus.Transport.t},
+    with two views of the same faulty medium — one per rung of the
+    Fig. 3 interface ladder:
 
     {b Raw (pin-level)} [raw_read]/[raw_write]: what a pin-accurate
     master sees.  Corruption is silent (the flipped word is simply what
@@ -35,9 +35,11 @@ val create :
   ?stuck_cycles:int ->
   Codesign_sim.Kernel.t ->
   Injector.t ->
-  Codesign_bus.Bus.iface ->
+  Codesign_bus.Transport.t ->
   t
-(** Defaults: [hang = 2000], [timeout = 64], [stuck_cycles = 600]. *)
+(** Defaults: [hang = 2000], [timeout = 64], [stuck_cycles = 600].
+    Any transport backend can be made faulty — the injector perturbs
+    whatever medium is behind it. *)
 
 val raw_read : t -> int -> int
 val raw_write : t -> int -> int -> unit
@@ -46,3 +48,10 @@ val write : t -> int -> int -> (unit, error) result
 
 val stuck_active : t -> bool
 (** A stuck-at window is currently open. *)
+
+val raw_transport : t -> Codesign_bus.Transport.t
+(** The faulty medium itself as a transport (raw, pin-style view):
+    reads and writes pass through the injector, [wait_ready] polls
+    through faulty reads.  This is what plugs into
+    {!Codesign.Cosim.run_echo_assignment}'s [wrap] hook to fault an
+    arbitrary level assignment. *)

@@ -374,6 +374,111 @@ let check_ladder rng =
   | _ -> assert false
 
 (* ------------------------------------------------------------------ *)
+(* mixed-level assignments                                             *)
+(* ------------------------------------------------------------------ *)
+
+let all_levels = [ Cosim.Pin; Cosim.Transaction; Cosim.Driver; Cosim.Message ]
+
+let bump = function
+  | Cosim.Pin -> Cosim.Transaction
+  | Cosim.Transaction -> Cosim.Driver
+  | Cosim.Driver -> Cosim.Message
+  | Cosim.Message -> Cosim.Message
+
+(* Raising a component must never make simulation dearer — except the
+   sink interface's step onto Message, which swaps a passive bus-mapped
+   device for an active endpoint process and may add its (small)
+   scheduling cost; that edge is excluded from the oracle's
+   monotonicity claim and covered by the property tests' bound
+   instead. *)
+let check_mixed rng =
+  let items, work, src_period, sink_period = Gen.echo_params rng in
+  let pick () = List.nth all_levels (Rng.int rng 4) in
+  let a = { Cosim.src = pick (); cpu = pick (); sink = pick () } in
+  let raises =
+    (if a.Cosim.src <> Cosim.Message then
+       [ { a with Cosim.src = bump a.Cosim.src } ]
+     else [])
+    @ (if a.Cosim.cpu <> Cosim.Message then
+         [ { a with Cosim.cpu = bump a.Cosim.cpu } ]
+       else [])
+    @
+    match a.Cosim.sink with
+    | Cosim.Pin | Cosim.Transaction ->
+        [ { a with Cosim.sink = bump a.Cosim.sink } ]
+    | Cosim.Driver | Cosim.Message -> []
+  in
+  let partner =
+    match raises with
+    | [] -> None
+    | l -> Some (List.nth l (Rng.int rng (List.length l)))
+  in
+  let where =
+    Printf.sprintf "(items=%d work=%d src=%d sink=%d)" items work src_period
+      sink_period
+  in
+  let run levels =
+    Cosim.run_echo_assignment ~levels ~items ~work ~src_period ~sink_period
+      ()
+  in
+  match
+    let pin = run (Cosim.pure Cosim.Pin) in
+    let m = run a in
+    let m' = Option.map run partner in
+    (pin, m, m')
+  with
+  | exception e ->
+      Some
+        (Printf.sprintf "mixed echo system raised %s %s"
+           (Printexc.to_string e) where)
+  | pin, m, m' ->
+      let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+      let basic (m : Cosim.metrics) =
+        let name = Cosim.assignment_name m.Cosim.assignment in
+        (match m.Cosim.outcome with
+        | Cosim.Completed -> None
+        | Cosim.Not_halted r ->
+            Some
+              (Printf.sprintf "mixed %s did not complete: %s %s" name r
+                 where))
+        <|> (fun () ->
+        if m.Cosim.checksum <> pin.Cosim.checksum then
+          Some
+            (Printf.sprintf "mixed %s checksum %d <> pin %d %s" name
+               m.Cosim.checksum pin.Cosim.checksum where)
+        else None)
+        <|> fun () ->
+        let msg_only =
+          m.Cosim.assignment.Cosim.src = Cosim.Message
+          && m.Cosim.assignment.Cosim.sink = Cosim.Message
+        in
+        if (m.Cosim.bus_ops = 0) <> msg_only then
+          Some
+            (Printf.sprintf
+               "mixed %s bus_ops %d inconsistent with its interfaces %s"
+               name m.Cosim.bus_ops where)
+        else None
+      in
+      basic m
+      <|> (fun () -> Option.bind m' basic)
+      <|> fun () ->
+      Option.bind m' (fun m' ->
+          let worse what get =
+            if get m' > get m then
+              Some
+                (Printf.sprintf
+                   "%s grew raising a component: %s %d -> %s %d %s" what
+                   (Cosim.assignment_name m.Cosim.assignment)
+                   (get m)
+                   (Cosim.assignment_name m'.Cosim.assignment)
+                   (get m') where)
+            else None
+          in
+          match worse "events" (fun m -> m.Cosim.events) with
+          | Some e -> Some e
+          | None -> worse "activations" (fun m -> m.Cosim.activations))
+
+(* ------------------------------------------------------------------ *)
 (* task-graph / partitioner cross-checks                               *)
 (* ------------------------------------------------------------------ *)
 

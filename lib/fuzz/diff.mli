@@ -60,4 +60,13 @@ val check_behavior :
 
 val check_ladder : Codesign_ir.Rng.t -> string option
 
+val check_mixed : Codesign_ir.Rng.t -> string option
+(** The mixed-assignment rung of the oracle: one random Fig. 3 grid
+    point (plus a partner with a single component raised along an axis
+    where cost must not grow) run through
+    {!Codesign.Cosim.run_echo_assignment}.  Checks completion, checksum
+    agreement with the pure-pin reference, [bus_ops = 0] exactly when
+    both interfaces are at Message, and that events/activations did not
+    increase for the raised partner. *)
+
 val check_taskgraph : Codesign_ir.Rng.t -> string option

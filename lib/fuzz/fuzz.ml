@@ -80,9 +80,13 @@ let run ?(seed = 42) ?(count = 200) ?(fault = false) ?transform_asm () =
     match dispatch case_seed with
     | 0 ->
         incr ladder_cases;
+        (* pure rungs first, then a mixed grid point from the same
+           case's stream — one failure per case, ladder category *)
         Option.iter
           (fun d -> fail ~category:"ladder" ~case_seed d)
-          (Diff.check_ladder rng)
+          (match Diff.check_ladder rng with
+          | Some d -> Some d
+          | None -> Diff.check_mixed rng)
     | 1 | 2 ->
         incr taskgraph_cases;
         Option.iter

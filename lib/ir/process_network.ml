@@ -91,7 +91,24 @@ let make ?(name = "net") procs channels =
 let find_proc t name =
   match List.find_opt (fun (p, _) -> p.Behavior.name = name) t.procs with
   | Some pm -> pm
-  | None -> raise Not_found
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Process_network.find_proc: no process %S in network %s (has: %s)"
+           name t.name
+           (String.concat ", "
+              (List.map (fun (p, _) -> p.Behavior.name) t.procs)))
+
+let find_channel t cname =
+  match List.find_opt (fun c -> c.cname = cname) t.channels with
+  | Some c -> c
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Process_network.find_channel: no channel %S in network %s \
+            (has: %s)"
+           cname t.name
+           (String.concat ", " (List.map (fun c -> c.cname) t.channels)))
 
 let channels_between t src dst =
   List.filter (fun c -> c.src = src && c.dst = dst) t.channels

@@ -34,7 +34,12 @@ val make :
     otherwise. *)
 
 val find_proc : t -> string -> Behavior.proc * mapping
-(** @raise Not_found on unknown name. *)
+(** @raise Invalid_argument on unknown name, listing the processes the
+    network does declare. *)
+
+val find_channel : t -> string -> channel
+(** @raise Invalid_argument on unknown name, listing the channels the
+    network does declare. *)
 
 val channels_between : t -> string -> string -> channel list
 (** Channels with the given (src, dst) process pair. *)

@@ -24,6 +24,8 @@ let () =
             (test_run "exp2" (fun ~quick () -> Exp_fig2.run ~quick ()));
           Alcotest.test_case "exp3 runs" `Quick
             (test_run "exp3" (fun ~quick () -> Exp_fig3.run ~quick ()));
+          Alcotest.test_case "exp3m runs" `Quick
+            (test_run "exp3m" (fun ~quick () -> Exp_fig3m.run ~quick ()));
           Alcotest.test_case "exp4 runs" `Quick
             (test_run "exp4" (fun ~quick () -> Exp_fig4.run ~quick ()));
           Alcotest.test_case "exp5 runs" `Quick
@@ -51,6 +53,8 @@ let () =
             (test_shape "exp2" Exp_fig2.containment_holds);
           Alcotest.test_case "exp3 ladder monotone" `Quick
             (test_shape "exp3" (fun () -> Exp_fig3.shape_holds ()));
+          Alcotest.test_case "exp3m mixed grid invariants" `Quick
+            (test_shape "exp3m" (fun () -> Exp_fig3m.shape_holds ()));
           Alcotest.test_case "exp4 polled vs irq" `Quick
             (test_shape "exp4" (fun () -> Exp_fig4.shape_holds ()));
           Alcotest.test_case "exp5 exact vs heuristic" `Quick

@@ -140,7 +140,7 @@ let test_retry_recovers_transient_bus_faults () =
   let map = M.create [ M.ram ~name:"ram" ~base:0 ~size:256 ] in
   let fb =
     F.Faulty_bus.create ~timeout:48 ~stuck_cycles:20 k inj
-      (Bus.tlm_iface (Bus.Tlm.create k map))
+      (Codesign_bus.Transport.tlm k map)
   in
   let budget = 6 and backoff = 32 in
   let with_retry op =
