@@ -231,6 +231,20 @@ let bench_event_drain () =
     slot.Codesign_sim.Event_queue.s_thunk ()
   done
 
+(* The fault-campaign sweep through both engines, on a deliberately
+   boot-heavy shape (warm-up >> injection window): the fork engine pays
+   for the warm-up once per mechanism and replays it from a checkpoint
+   for every rate cell, while the rerun reference re-executes it from
+   cycle zero each time.  Both must produce byte-identical reports
+   (asserted in test_snapshot and CI); here we only measure the cost. *)
+module Campaign = Codesign_fault.Campaign
+
+let bench_campaign_fork () =
+  ignore (Campaign.sweep ~seed:42 ~ops:64 ~warmup:512 Campaign.Fork)
+
+let bench_campaign_rerun () =
+  ignore (Campaign.sweep ~seed:42 ~ops:64 ~warmup:512 Campaign.Rerun)
+
 (* Returns the (name, ns/run OLS estimate) rows alongside printing them,
    so the JSON artifact carries the same numbers as the text report. *)
 let run_microbenchmarks () =
@@ -250,6 +264,8 @@ let run_microbenchmarks () =
         test "logic_sim/pipe-100-cycles" bench_logic_sim;
         test "logic_sim/pipe-100-cycles-interp" bench_logic_sim_interp;
         test "event-drain/1k-events" bench_event_drain;
+        test "fault/campaign-fork" bench_campaign_fork;
+        test "fault/campaign-rerun" bench_campaign_rerun;
       ]
   in
   let ols =

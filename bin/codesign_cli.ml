@@ -410,6 +410,28 @@ let fault_cmd =
       value & flag
       & info [ "quick" ] ~doc:"Smaller campaign for CI-speed runs.")
   in
+  let engine =
+    let engine_conv =
+      Arg.enum [ ("fork", Campaign.Fork); ("rerun", Campaign.Rerun) ]
+    in
+    Arg.(
+      value & opt engine_conv Campaign.Fork
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Sweep engine: $(b,fork) (default) checkpoints each \
+             mechanism's world after its fault-free warm-up and forks \
+             every rate cell off the checkpoint; $(b,rerun) rebuilds the \
+             world from scratch per cell.  Both produce byte-identical \
+             reports — rerun is the reference fork is checked against.")
+  in
+  let warmup =
+    Arg.(
+      value & opt (some int) None
+      & info [ "warmup" ] ~docv:"N"
+          ~doc:
+            "Fault-free warm-up transfers before each cell's injection \
+             window (default ops/2).")
+  in
   let out =
     Arg.(
       value & opt (some string) None
@@ -418,13 +440,13 @@ let fault_cmd =
             "Also write the JSON report to $(docv) and validate that it \
              round-trips through the reader.")
   in
-  let run seed ops quick json out =
+  let run seed ops quick engine warmup json out =
     let ops =
       match ops with
       | Some n -> n
       | None -> if quick then Campaign.quick_ops else Campaign.default_ops
     in
-    let r = Campaign.run ~seed ~ops () in
+    let r = Campaign.run ~seed ~ops ?warmup ~engine () in
     (match out with
     | None -> ()
     | Some file ->
@@ -451,7 +473,9 @@ let fault_cmd =
        ~doc:
          "Run the deterministic fault-injection campaign across the \
           interface ladder.")
-    Term.(term_result (const run $ seed $ ops $ quick $ json_arg $ out))
+    Term.(
+      term_result
+        (const run $ seed $ ops $ quick $ engine $ warmup $ json_arg $ out))
 
 (* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)

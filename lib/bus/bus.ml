@@ -24,6 +24,17 @@ module Arbiter = struct
   let release t =
     if Queue.is_empty t.waiters then t.busy <- false
     else (Queue.pop t.waiters) ()
+
+  let idle t = (not t.busy) && Queue.is_empty t.waiters
+
+  type snap = { s_busy : bool; s_stall_count : int }
+
+  let snapshot t = { s_busy = t.busy; s_stall_count = t.stall_count }
+
+  let restore t s =
+    t.busy <- s.s_busy;
+    t.stall_count <- s.s_stall_count;
+    Queue.clear t.waiters
 end
 
 module Tlm = struct
@@ -74,6 +85,27 @@ module Tlm = struct
       stalls = t.arb.Arbiter.stall_count;
       busy_cycles = t.busy_cycles;
     }
+
+  type snap = {
+    s_arb : Arbiter.snap;
+    s_reads : int;
+    s_writes : int;
+    s_busy_cycles : int;
+  }
+
+  let snapshot t =
+    {
+      s_arb = Arbiter.snapshot t.arb;
+      s_reads = t.reads;
+      s_writes = t.writes;
+      s_busy_cycles = t.busy_cycles;
+    }
+
+  let restore t s =
+    Arbiter.restore t.arb s.s_arb;
+    t.reads <- s.s_reads;
+    t.writes <- s.s_writes;
+    t.busy_cycles <- s.s_busy_cycles
 end
 
 module Pin = struct
@@ -92,6 +124,28 @@ module Pin = struct
     mutable busy_cycles : int;
   }
 
+  (* The slave side: an autonomous process decoding every request.  One
+     request at a time is guaranteed by the arbiter.  A named function
+     so [restore] can spawn a fresh slave for a forked timeline. *)
+  let spawn_slave t =
+    K.spawn ~name:"bus.slave" t.kernel (fun () ->
+        let rec serve () =
+          ignore (S.await t.req (fun v -> v = 1));
+          let a = S.read t.addr in
+          let ws = Memory_map.wait_states t.map a in
+          K.wait (t.setup_cycles + ws);
+          if S.read t.we = 1 then
+            Memory_map.write t.map a (S.read t.wdata_rdata)
+          else S.write t.wdata_rdata (Memory_map.read t.map a);
+          K.wait 1;
+          S.pulse t.ack 1;
+          (* wait for the master to drop the request, then complete *)
+          ignore (S.await t.req (fun v -> v = 0));
+          S.write t.ack 0;
+          serve ()
+        in
+        serve ())
+
   let create ?(setup_cycles = 1) kernel map =
     let t =
       {
@@ -109,25 +163,7 @@ module Pin = struct
         busy_cycles = 0;
       }
     in
-    (* The slave side: an autonomous process decoding every request.
-       One request at a time is guaranteed by the arbiter. *)
-    K.spawn ~name:"bus.slave" kernel (fun () ->
-        let rec serve () =
-          ignore (S.await t.req (fun v -> v = 1));
-          let a = S.read t.addr in
-          let ws = Memory_map.wait_states t.map a in
-          K.wait (t.setup_cycles + ws);
-          if S.read t.we = 1 then
-            Memory_map.write t.map a (S.read t.wdata_rdata)
-          else S.write t.wdata_rdata (Memory_map.read t.map a);
-          K.wait 1;
-          S.pulse t.ack 1;
-          (* wait for the master to drop the request, then complete *)
-          ignore (S.await t.req (fun v -> v = 0));
-          S.write t.ack 0;
-          serve ()
-        in
-        serve ());
+    spawn_slave t;
     t
 
   let transfer t addr ~we ~value =
@@ -164,6 +200,48 @@ module Pin = struct
       stalls = t.arb.Arbiter.stall_count;
       busy_cycles = t.busy_cycles;
     }
+
+  type snap = {
+    s_arb : Arbiter.snap;
+    s_addr : int S.snap;
+    s_data : int S.snap;
+    s_req : int S.snap;
+    s_ack : int S.snap;
+    s_we : int S.snap;
+    s_reads : int;
+    s_writes : int;
+    s_busy_cycles : int;
+  }
+
+  let snapshot t =
+    if not (Arbiter.idle t.arb) then
+      invalid_arg "Bus.Pin.snapshot: bus is mid-transaction (arbiter busy)";
+    {
+      s_arb = Arbiter.snapshot t.arb;
+      s_addr = S.snapshot t.addr;
+      s_data = S.snapshot t.wdata_rdata;
+      s_req = S.snapshot t.req;
+      s_ack = S.snapshot t.ack;
+      s_we = S.snapshot t.we;
+      s_reads = t.reads;
+      s_writes = t.writes;
+      s_busy_cycles = t.busy_cycles;
+    }
+
+  let restore t s =
+    Arbiter.restore t.arb s.s_arb;
+    S.restore t.addr s.s_addr;
+    S.restore t.wdata_rdata s.s_data;
+    S.restore t.req s.s_req;
+    S.restore t.ack s.s_ack;
+    S.restore t.we s.s_we;
+    t.reads <- s.s_reads;
+    t.writes <- s.s_writes;
+    t.busy_cycles <- s.s_busy_cycles;
+    (* restoring the wires dropped every waiter, abandoning the old
+       slave process wherever it was blocked; serve the forked timeline
+       with a fresh one *)
+    spawn_slave t
 
   let addr_wire t = t.addr
   let data_wire t = t.wdata_rdata

@@ -41,6 +41,17 @@ module Tlm : sig
   val write : t -> int -> int -> unit
 
   val stats : t -> stats
+
+  (** Snapshot/restore of the model's mutable state: traffic counters
+      and arbiter occupancy.  The {!Memory_map} behind the bus is
+      snapshotted separately by its owner.  Restore drops any processes
+      queued on the arbiter (see {!Codesign_sim.Kernel.snapshot} for
+      the fork discipline). *)
+
+  type snap
+
+  val snapshot : t -> snap
+  val restore : t -> snap -> unit
 end
 
 (** Pin-accurate model. *)
@@ -56,6 +67,25 @@ module Pin : sig
   val read : t -> int -> int
   val write : t -> int -> int -> unit
   val stats : t -> stats
+
+  (** {3 Snapshot / restore}
+
+      Captures the five bus wires, the arbiter and the traffic
+      counters.  Only an {e idle} bus can be snapshotted — the slave
+      process's position in the request/acknowledge handshake lives in
+      an uncapturable effect continuation, so mid-transaction state
+      cannot be forked.  {!restore} rewinds the wires (dropping all
+      waiters, which abandons the current slave process) and spawns a
+      fresh slave for the forked timeline; the abandoned slave stays
+      blocked forever and is invisible to [expect_quiescent] runs. *)
+
+  type snap
+
+  val snapshot : t -> snap
+  (** @raise Invalid_argument if the bus is mid-transaction (arbiter
+      held or processes queued on it). *)
+
+  val restore : t -> snap -> unit
 
   (** Observable wires, for glue logic and waveform-style assertions. *)
 

@@ -97,6 +97,29 @@ let wait_states t addr =
   | Some ({ kind = Device h; _ }, off) -> h.wait_states off
   | _ -> 0
 
+type snap = (string * int array) list
+
+let snapshot t =
+  Array.to_list t.sorted
+  |> List.filter_map (fun r ->
+         match r.kind with
+         | Ram a | Rom a -> Some (r.name, Array.copy a)
+         | Device _ -> None)
+
+let restore t s =
+  List.iter
+    (fun (name, saved) ->
+      match
+        Array.find_opt (fun r -> r.name = name) t.sorted
+      with
+      | Some { kind = Ram a | Rom a; _ } when Array.length a = Array.length saved
+        ->
+          Array.blit saved 0 a 0 (Array.length a)
+      | _ ->
+          invalid_arg
+            ("Memory_map.restore: no matching memory region " ^ name))
+    s
+
 let ram ~name ~base ~size = { name; base; size; kind = Ram (Array.make size 0) }
 let rom ~name ~base data =
   { name; base; size = Array.length data; kind = Rom data }

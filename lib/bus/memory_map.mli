@@ -43,6 +43,24 @@ val write : t -> int -> int -> unit
 val wait_states : t -> int -> int
 (** Device wait states at an address (0 for memory and unmapped). *)
 
+(** {2 Snapshot / restore}
+
+    A snapshot copies the backing array of every RAM and ROM region
+    (ROMs are included because their backing arrays are shared with the
+    caller and could be mutated externally).  Device regions hold their
+    state behind handler closures and are {e not} captured — a device
+    whose state matters across forks must expose its own
+    snapshot/restore. *)
+
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Rewind every RAM/ROM region's contents.
+    @raise Invalid_argument if a snapshotted region is missing or has a
+    different size (snapshot from a different map shape). *)
+
 val ram : name:string -> base:int -> size:int -> region
 val rom : name:string -> base:int -> int array -> region
 val device : name:string -> base:int -> size:int -> handlers -> region

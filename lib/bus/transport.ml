@@ -48,13 +48,30 @@ type t = {
   write : int -> int -> unit;
   wait_ready : int -> unit;
   stats : unit -> stats;
+  save : (unit -> unit -> unit) option;
 }
+
+type snap = { owner : t; apply : unit -> unit }
+
+let snapshot t =
+  match t.save with
+  | Some save -> { owner = t; apply = save () }
+  | None ->
+      invalid_arg
+        (Printf.sprintf
+           "Transport.snapshot: the %s backend has no snapshot support"
+           (short_name t.level))
+
+let restore t s =
+  if s.owner != t then
+    invalid_arg "Transport.restore: snapshot belongs to a different transport";
+  s.apply ()
 
 (* ------------------------------------------------------------------ *)
 (* bus-backed rungs                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let of_bus_iface ~level ?(poll_interval = 8) (iface : Bus.iface) =
+let of_bus_iface ~level ?(poll_interval = 8) ?save (iface : Bus.iface) =
   {
     level;
     read = iface.Bus.bus_read;
@@ -79,15 +96,24 @@ let of_bus_iface ~level ?(poll_interval = 8) (iface : Bus.iface) =
           stalls = s.Bus.stalls;
           busy_cycles = s.Bus.busy_cycles;
         });
+    save;
   }
 
 let pin ?setup_cycles ?poll_interval kernel map =
+  let b = Bus.Pin.create ?setup_cycles kernel map in
   of_bus_iface ~level:Pin ?poll_interval
-    (Bus.pin_iface (Bus.Pin.create ?setup_cycles kernel map))
+    ~save:(fun () ->
+      let s = Bus.Pin.snapshot b in
+      fun () -> Bus.Pin.restore b s)
+    (Bus.pin_iface b)
 
 let tlm ?read_latency ?write_latency ?poll_interval kernel map =
+  let b = Bus.Tlm.create ?read_latency ?write_latency kernel map in
   of_bus_iface ~level:Transaction ?poll_interval
-    (Bus.tlm_iface (Bus.Tlm.create ?read_latency ?write_latency kernel map))
+    ~save:(fun () ->
+      let s = Bus.Tlm.snapshot b in
+      fun () -> Bus.Tlm.restore b s)
+    (Bus.tlm_iface b)
 
 (* ------------------------------------------------------------------ *)
 (* driver-call rung                                                    *)
@@ -128,6 +154,13 @@ let driver ?(call_cost = 6) ?(poll_interval = 8) map =
           stalls = 0;
           busy_cycles = 0;
         });
+    save =
+      Some
+        (fun () ->
+          let r = !reads and w = !writes in
+          fun () ->
+            reads := r;
+            writes := w);
   }
 
 (* ------------------------------------------------------------------ *)
@@ -180,6 +213,9 @@ let message ?(recv = []) ?(send = []) () =
        would double-count the synchronisation *)
     wait_ready = (fun _ -> ());
     stats = (fun () -> zero_stats);
+    (* the record itself is stateless: every bit of state lives in the
+       bound channels, which their owner snapshots directly *)
+    save = Some (fun () -> fun () -> ());
   }
 
 (* ------------------------------------------------------------------ *)

@@ -85,7 +85,33 @@ type t = {
       (** block until the status register at the given address reads
           nonzero, polling with the backend's own access mechanism *)
   stats : unit -> stats;
+  save : (unit -> unit -> unit) option;
+      (** snapshot capability: [save ()] captures the backend's mutable
+          state and returns the thunk that restores it.  [None] for
+          backends without snapshot support.  Use through {!snapshot} /
+          {!restore} rather than directly. *)
 }
+
+(** {1 Snapshot / restore}
+
+    Backend state captured per rung: {!pin} the full {!Bus.Pin} state
+    (wires, arbiter, counters — the bus must be idle); {!tlm} the
+    {!Bus.Tlm} counters and arbiter; {!driver} its access counters;
+    {!message} nothing (the record is stateless — the bound channels are
+    snapshotted by whoever owns them).  The {!Memory_map} behind a bus
+    rung is never captured here; snapshot it separately.  {!view} and
+    record-update wrappers share the underlying [save], but a snapshot
+    must be restored through the same record value it was taken from. *)
+
+type snap
+
+val snapshot : t -> snap
+(** @raise Invalid_argument if the transport has no [save] capability
+    (e.g. a bare {!of_bus_iface} adoption without [?save]). *)
+
+val restore : t -> snap -> unit
+(** @raise Invalid_argument if [snap] was taken from a different
+    transport record. *)
 
 (** {1 Backends} *)
 
@@ -131,10 +157,16 @@ val message :
     traffic is kernel channel activity, not bus operations.  Accessing
     an unbound address raises [Invalid_argument]. *)
 
-val of_bus_iface : level:level -> ?poll_interval:int -> Bus.iface -> t
+val of_bus_iface :
+  level:level ->
+  ?poll_interval:int ->
+  ?save:(unit -> unit -> unit) ->
+  Bus.iface ->
+  t
 (** Adopt a legacy {!Bus.iface} (or any read/write/stats triple — the
     fault layer's wrapped media enter here) as a transport at the given
-    rung. *)
+    rung.  [save] (default absent) supplies the snapshot capability for
+    whatever state hides behind the iface closures. *)
 
 (** {1 Transactors} *)
 

@@ -331,10 +331,15 @@ let run_echo_system ~level ?(items = 16) ?(work = 8) ?(src_period = 200)
 (* Process-network execution                                           *)
 (* ------------------------------------------------------------------ *)
 
+type network_outcome =
+  | Net_completed
+  | Net_trapped of string * string  (* (process, trap message) *)
+
 type network_result = {
   end_time : int;
   net_events : int;
   net_activations : int;
+  net_outcome : network_outcome;
   port_writes : (string * int * int) list;
   hw_area : int;
   sw_results : (string * (string * int) list) list;
@@ -415,6 +420,7 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
   in
   let next_auto_engine = ref 1000 in
   let sw_results = ref [] in
+  let traps = ref [] in
   let hw_area = ref 0 in
   let end_time = ref 0 in
   List.iter
@@ -456,18 +462,20 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
                 if cy > 0 then K.wait cy
               done;
               Mutex.release cpu_token;
+              (* never raise from inside a kernel process: a trap is
+                 recorded as data and the process ends cleanly, so the
+                 rest of the network keeps simulating and the caller
+                 sees a structured outcome instead of an exception
+                 unwinding through the scheduler *)
               (match Cpu.status c with
-              | Cpu.Trapped m ->
-                  failwith
-                    (Printf.sprintf "Cosim.run_network: %s trapped: %s"
-                       proc.B.name m)
-              | _ -> ());
-              sw_results :=
-                ( proc.B.name,
-                  List.map
-                    (fun v -> (v, Codegen.result lay c v))
-                    proc.B.results )
-                :: !sw_results;
+              | Cpu.Trapped m -> traps := (proc.B.name, m) :: !traps
+              | _ ->
+                  sw_results :=
+                    ( proc.B.name,
+                      List.map
+                        (fun v -> (v, Codegen.result lay c v))
+                        proc.B.results )
+                    :: !sw_results);
               if K.now k > !end_time then end_time := K.now k)
       | Pn.Hw ->
           let est = Codesign_hls.Hls.estimate proc in
@@ -525,6 +533,10 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
     end_time = !end_time;
     net_events = st.K.events;
     net_activations = st.K.activations;
+    net_outcome =
+      (match List.rev !traps with
+      | [] -> Net_completed
+      | (p, m) :: _ -> Net_trapped (p, m));
     port_writes = List.rev !port_writes;
     hw_area = !hw_area;
     sw_results = List.rev !sw_results;

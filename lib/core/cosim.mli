@@ -133,15 +133,27 @@ val run_echo_system :
 
 (** {2 Process networks} *)
 
+type network_outcome =
+  | Net_completed  (** no software process trapped *)
+  | Net_trapped of string * string
+      (** [(process, message)]: a software CPU trapped.  The first trap
+          in simulation order is reported; the trapped process ends
+          cleanly (its kernel process never raises, so the rest of the
+          network keeps running and deadlock detection still sees
+          accurate blocked sets) and contributes no [sw_results]
+          entry. *)
+
 type network_result = {
   end_time : int;
   net_events : int;
   net_activations : int;
+  net_outcome : network_outcome;
   port_writes : (string * int * int) list;
       (** (process, port, value), in completion order *)
   hw_area : int;  (** summed HLS-estimated area of hardware processes *)
   sw_results : (string * (string * int) list) list;
-      (** per software process: its behaviour's result variables *)
+      (** per software process: its behaviour's result variables
+          (trapped processes are absent) *)
 }
 
 val run_network :

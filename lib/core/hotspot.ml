@@ -32,7 +32,8 @@ type profile = {
     Channelised behaviours need [chan_ports] (channel-name -> port id);
     unless [env] supplies port hooks, their receives read 0 — fine for
     data-independent control flow, which is what the profile measures.
-    @raise Failure if the compiled program traps. *)
+    @raise Codesign_isa.Codegen.Trapped if the compiled program traps
+    (the exception carries the behaviour's name and the trapping PC). *)
 let analyze ?(env = Cpu.default_env) ?chan_ports (proc : B.proc) bindings =
   let items, lay = Codegen.compile ?chan_ports proc in
   let img = Asm.assemble items in
@@ -41,7 +42,8 @@ let analyze ?(env = Cpu.default_env) ?chan_ports (proc : B.proc) bindings =
   Codegen.bind lay cpu bindings;
   (match Cpu.run cpu with
   | Cpu.Halted -> ()
-  | Cpu.Trapped m -> failwith ("Hotspot.analyze: trapped: " ^ m)
+  | Cpu.Trapped msg ->
+      raise (Codegen.Trapped { proc = proc.B.name; pc = Cpu.pc cpu; msg })
   | Cpu.Running -> assert false);
   let total = Profiler.total_cycles prof in
   {

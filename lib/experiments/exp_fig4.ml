@@ -118,8 +118,18 @@ let run_mode ~irq_mode ~items =
       done;
       done_at := K.now k);
   ignore (K.run ~expect_quiescent:true k);
-  if Cpu.status cpu <> Cpu.Halted then
-    failwith "Exp_fig4: CPU did not halt";
+  (if Cpu.status cpu <> Cpu.Halted then
+     let status =
+       match Cpu.status cpu with
+       | Cpu.Running -> "still running"
+       | Cpu.Trapped m -> "trapped: " ^ m
+       | Cpu.Halted -> assert false
+     in
+     failwith
+       (Printf.sprintf
+          "Exp_fig4: CPU did not halt in %s mode (%s at pc %d, kernel time %d)"
+          (if irq_mode then "interrupt" else "polled")
+          status (Cpu.pc cpu) (K.now k)));
   {
     mode = (if irq_mode then "interrupt" else "polled");
     driver_bytes = driver.Is.code_bytes;

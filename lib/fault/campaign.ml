@@ -23,6 +23,21 @@ let default_rates = [ 0.02; 0.05; 0.1 ]
 let default_ops = 240
 let quick_ops = 96
 
+type engine = Rerun | Fork
+
+let engine_name = function Rerun -> "rerun" | Fork -> "fork"
+
+let engine_of_string s =
+  match String.lowercase_ascii s with
+  | "rerun" -> Ok Rerun
+  | "fork" -> Ok Fork
+  | other ->
+      Error
+        (Printf.sprintf "unknown campaign engine %S (expected rerun | fork)"
+           other)
+
+let default_warmup ops = ops / 2
+
 (* ------------------------------------------------------------------ *)
 (* the transfer sweep                                                  *)
 (* ------------------------------------------------------------------ *)
@@ -43,117 +58,164 @@ type level = L_pin | L_tlm | L_token
 
 let level_name = function L_pin -> "pin" | L_tlm -> "tlm" | L_token -> "token"
 
-(* One cell, without the cycle-overhead column (that needs the rate-0
-   run of the same mechanism, supplied by the caller). *)
-let raw_cell ~seed ~ops ~rate mechanism : FR.cell =
+(* The world one (mechanism, workload) pair runs in.  Both engines
+   build it identically; the fork engine additionally checkpoints it at
+   the warm-up boundary and rewinds it once per rate.  The injector is
+   created inactive at rate 0 and {!Injector.reinit}'d before every
+   cell in both engines, so the two fault streams are literally the
+   same stream. *)
+type world = {
+  k : K.t;
+  inj : Injector.t;
+  map : M.t;
+  mechanism : mechanism;
+  fb_pin : Faulty_bus.t option;
+  fb_tlm : Faulty_bus.t option;
+  rel : Faulty_chan.t option;
+  wd : Watchdog.t;
+  warmup : int;
+  total : int;  (* warmup + windowed ops *)
+}
+
+let make_world ~warmup ~ops mechanism : world =
+  let total = warmup + ops in
   let k = K.create () in
-  let inj = Injector.create ~rate ~seed () in
-  let data = Array.init ops pattern in
+  let inj = Injector.create ~rate:0.0 ~active:false ~seed:0 () in
+  let data = Array.init total pattern in
   let map =
     M.create
       [
         M.rom ~name:"src" ~base:src_base data;
-        M.ram ~name:"sink" ~base:sink_base ~size:ops;
+        M.ram ~name:"sink" ~base:sink_base ~size:total;
       ]
   in
   let uses_pin = mechanism = Pin || mechanism = Degrade in
   let uses_tlm = mechanism = Tlm || mechanism = Degrade in
   let uses_token = mechanism = Token || mechanism = Degrade in
   let fb_pin =
-    if uses_pin then
-      Some (Faulty_bus.create k inj (T.pin k map))
-    else None
+    if uses_pin then Some (Faulty_bus.create k inj (T.pin k map)) else None
   in
   let fb_tlm =
-    if uses_tlm then
-      Some (Faulty_bus.create k inj (T.tlm k map))
-    else None
+    if uses_tlm then Some (Faulty_bus.create k inj (T.tlm k map)) else None
   in
   let rel = if uses_token then Some (Faulty_chan.create k inj ()) else None in
   let wd = Watchdog.create k ~timeout:800 ~on_bite:(fun _ -> ()) in
-  let retries = ref 0 in
-  let give_ups = ref 0 in
-  let faulted = Array.make ops false in
-  let done_at = ref 0 in
-  let level =
-    ref (match mechanism with Pin | Degrade -> L_pin | Tlm -> L_tlm
-         | Token -> L_token)
+  { k; inj; map; mechanism; fb_pin; fb_tlm; rel; wd; warmup; total }
+
+(* Per-cell accounting, fresh for every cell in both engines. *)
+type cell_state = {
+  mutable retries : int;
+  mutable give_ups : int;
+  faulted : bool array;  (* over the full [total] index range *)
+  mutable done_at : int;
+  mutable level : level;
+}
+
+let fresh_state (w : world) : cell_state =
+  {
+    retries = 0;
+    give_ups = 0;
+    faulted = Array.make w.total false;
+    done_at = 0;
+    level =
+      (match w.mechanism with
+      | Pin | Degrade -> L_pin
+      | Tlm -> L_tlm
+      | Token -> L_token);
+  }
+
+let pin_op fb i =
+  let v = Faulty_bus.raw_read fb (src_base + i) in
+  Faulty_bus.raw_write fb (sink_base + i) v
+
+let tlm_op st fb i =
+  let rec rd n =
+    match Faulty_bus.read fb (src_base + i) with
+    | Ok v -> Some v
+    | Error _ ->
+        if n >= retry_budget then None
+        else begin
+          st.retries <- st.retries + 1;
+          K.wait (backoff * (n + 1));
+          rd (n + 1)
+        end
   in
-  let pin_op fb i =
-    let v = Faulty_bus.raw_read fb (src_base + i) in
-    Faulty_bus.raw_write fb (sink_base + i) v
-  in
-  let tlm_op fb i =
-    let rec rd n =
-      match Faulty_bus.read fb (src_base + i) with
-      | Ok v -> Some v
-      | Error _ ->
-          if n >= retry_budget then None
-          else begin
-            incr retries;
-            K.wait (backoff * (n + 1));
-            rd (n + 1)
-          end
-    in
-    match rd 0 with
-    | None -> incr give_ups
-    | Some v ->
-        let rec wr n =
-          match Faulty_bus.write fb (sink_base + i) v with
-          | Ok () -> true
-          | Error _ ->
-              if n >= retry_budget then false
-              else begin
-                incr retries;
-                K.wait (backoff * (n + 1));
-                wr (n + 1)
-              end
-        in
-        if not (wr 0) then incr give_ups
-  in
-  let token_op rel i =
-    (* the OS-message rung reads the source functionally: no bus *)
-    let v = M.read map (src_base + i) in
-    if not (Faulty_chan.send rel ~idx:i v) then incr give_ups
-  in
-  (match rel with
+  match rd 0 with
+  | None -> st.give_ups <- st.give_ups + 1
+  | Some v ->
+      let rec wr n =
+        match Faulty_bus.write fb (sink_base + i) v with
+        | Ok () -> true
+        | Error _ ->
+            if n >= retry_budget then false
+            else begin
+              st.retries <- st.retries + 1;
+              K.wait (backoff * (n + 1));
+              wr (n + 1)
+            end
+      in
+      if not (wr 0) then st.give_ups <- st.give_ups + 1
+
+let token_op w st rel i =
+  (* the OS-message rung reads the source functionally: no bus *)
+  let v = M.read w.map (src_base + i) in
+  if not (Faulty_chan.send rel ~idx:i v) then st.give_ups <- st.give_ups + 1
+
+let spawn_sink (w : world) =
+  match w.rel with
   | None -> ()
   | Some rel ->
-      K.spawn ~name:"campaign.sink" k (fun () ->
+      K.spawn ~name:"campaign.sink" w.k (fun () ->
           let rec loop () =
             match Faulty_chan.recv rel with
             | Some (idx, v) ->
-                if idx >= 0 && idx < ops then M.write map (sink_base + idx) v;
+                if idx >= 0 && idx < w.total then
+                  M.write w.map (sink_base + idx) v;
                 loop ()
             | None -> ()
           in
-          loop ()));
-  K.spawn ~name:"campaign.master" k (fun () ->
-      for i = 0 to ops - 1 do
-        Watchdog.kick wd;
-        let before = Injector.injected inj in
-        (match !level with
-        | L_pin -> pin_op (Option.get fb_pin) i
-        | L_tlm -> tlm_op (Option.get fb_tlm) i
-        | L_token -> token_op (Option.get rel) i);
-        if Injector.injected inj > before then faulted.(i) <- true;
-        if mechanism = Degrade then begin
-          if !level = L_pin && Watchdog.bites wd >= bite_threshold then
-            level := L_tlm
-          else if !level = L_tlm && !give_ups >= give_up_threshold then
-            level := L_token
+          loop ())
+
+(* Transfers [lo, hi): the warm-up run passes [finish:false] so the
+   watchdog generation and the token stream are left exactly where a
+   straight-through run would have them at the same point.  The
+   watchdog is kicked (and the injection window opened) only from
+   [warmup] on, so the warm-up schedules no timer events and the event
+   heap genuinely drains to empty at the checkpoint. *)
+let spawn_master (w : world) (st : cell_state) ~lo ~hi ~finish =
+  K.spawn ~name:"campaign.master" w.k (fun () ->
+      for i = lo to hi - 1 do
+        if i = w.warmup then Injector.set_active w.inj true;
+        if i >= w.warmup then Watchdog.kick w.wd;
+        let before = Injector.injected w.inj in
+        (match st.level with
+        | L_pin -> pin_op (Option.get w.fb_pin) i
+        | L_tlm -> tlm_op st (Option.get w.fb_tlm) i
+        | L_token -> token_op w st (Option.get w.rel) i);
+        if Injector.injected w.inj > before then st.faulted.(i) <- true;
+        if w.mechanism = Degrade then begin
+          if st.level = L_pin && Watchdog.bites w.wd >= bite_threshold then
+            st.level <- L_tlm
+          else if st.level = L_tlm && st.give_ups >= give_up_threshold then
+            st.level <- L_token
         end
       done;
-      Watchdog.stop wd;
-      (match rel with Some rel -> Faulty_chan.close rel | None -> ());
-      done_at := K.now k);
-  ignore (K.run ~until:200_000_000 ~expect_quiescent:true k);
-  let done_at = if !done_at = 0 then K.now k else !done_at in
-  (* audit: recompute the expected sink image *)
+      if finish then begin
+        Watchdog.stop w.wd;
+        (match w.rel with Some rel -> Faulty_chan.close rel | None -> ());
+        st.done_at <- K.now w.k
+      end)
+
+(* Audit a finished cell: recompute the expected sink image over the
+   whole range (warm-up transfers are fault-free, so they contribute
+   nothing to the fault columns) and assemble the report row.  [ops]
+   reports the injection window only. *)
+let audit (w : world) (st : cell_state) ~rate : FR.cell =
+  let done_at = if st.done_at = 0 then K.now w.k else st.done_at in
   let lost = ref 0 in
   let buf_exp = Buffer.create 256 and buf_got = Buffer.create 256 in
-  for i = 0 to ops - 1 do
-    let got = M.read map (sink_base + i) in
+  for i = 0 to w.total - 1 do
+    let got = M.read w.map (sink_base + i) in
     Buffer.add_string buf_exp (string_of_int (pattern i));
     Buffer.add_char buf_exp ',';
     Buffer.add_string buf_got (string_of_int got);
@@ -161,31 +223,31 @@ let raw_cell ~seed ~ops ~rate mechanism : FR.cell =
     if got <> pattern i then begin
       incr lost;
       (* an op the per-op accounting missed is still a faulted op *)
-      faulted.(i) <- true
+      st.faulted.(i) <- true
     end
   done;
   let faulted_ops =
-    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 faulted
+    Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 st.faulted
   in
-  Injector.charge_pending inj ~time:done_at;
-  let injected = Injector.injected inj in
+  Injector.charge_pending w.inj ~time:done_at;
+  let injected = Injector.injected w.inj in
   let retries =
-    !retries
-    + match rel with Some rel -> Faulty_chan.retransmissions rel | None -> 0
+    st.retries
+    + match w.rel with Some rel -> Faulty_chan.retransmissions rel | None -> 0
   in
   {
-    FR.mechanism = mechanism_name mechanism;
+    FR.mechanism = mechanism_name w.mechanism;
     rate;
-    ops;
+    ops = w.total - w.warmup;
     faulted_ops;
     injected;
-    detected = Injector.detected inj;
+    detected = Injector.detected w.inj;
     recovered_ops = faulted_ops - !lost;
     lost_ops = !lost;
     retries;
-    watchdog_bites = Watchdog.bites wd;
+    watchdog_bites = Watchdog.bites w.wd;
     degraded_to =
-      (if mechanism = Degrade then Some (level_name !level) else None);
+      (if w.mechanism = Degrade then Some (level_name st.level) else None);
     sim_cycles = done_at;
     cycle_overhead = 0.0;
     recovery_rate =
@@ -193,7 +255,8 @@ let raw_cell ~seed ~ops ~rate mechanism : FR.cell =
        else float_of_int (faulted_ops - !lost) /. float_of_int faulted_ops);
     mean_detect_latency =
       (if injected = 0 then 0.0
-       else float_of_int (Injector.latency_sum inj) /. float_of_int injected);
+       else
+         float_of_int (Injector.latency_sum w.inj) /. float_of_int injected);
     checksum_ok =
       Checksum.of_string (Buffer.contents buf_got)
       = Checksum.of_string (Buffer.contents buf_exp);
@@ -207,9 +270,91 @@ let with_overhead ~baseline (c : FR.cell) =
   in
   { c with FR.cycle_overhead = overhead }
 
-let run_cell ~seed ~ops ~rate mechanism =
-  let baseline = raw_cell ~seed ~ops ~rate:0.0 mechanism in
-  with_overhead ~baseline (raw_cell ~seed ~ops ~rate mechanism)
+(* ------------------------------------------------------------------ *)
+(* the two engines                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference engine: build the world from scratch and run warm-up +
+   window straight through.  One construction and one warm-up per
+   cell. *)
+let rerun_cell ~seed ~warmup ~ops ~rate mechanism : FR.cell =
+  let w = make_world ~warmup ~ops mechanism in
+  Injector.reinit w.inj ~rate ~seed;
+  let st = fresh_state w in
+  spawn_sink w;
+  spawn_master w st ~lo:0 ~hi:w.total ~finish:true;
+  ignore (K.run ~until:200_000_000 ~expect_quiescent:true w.k);
+  audit w st ~rate
+
+(* Everything the fork engine rewinds between cells.  The injector is
+   not part of the checkpoint: it is reinitialised per cell (exactly as
+   the rerun engine does), which is what makes the two engines draw the
+   same fault stream. *)
+type world_snap = {
+  ws_k : K.snap;
+  ws_map : M.snap;
+  ws_pin : Faulty_bus.snap option;
+  ws_tlm : Faulty_bus.snap option;
+  ws_rel : Faulty_chan.snap option;
+  ws_wd : Watchdog.snap;
+}
+
+let snapshot_world (w : world) : world_snap =
+  {
+    ws_k = K.snapshot w.k;
+    ws_map = M.snapshot w.map;
+    ws_pin = Option.map Faulty_bus.snapshot w.fb_pin;
+    ws_tlm = Option.map Faulty_bus.snapshot w.fb_tlm;
+    ws_rel = Option.map Faulty_chan.snapshot w.rel;
+    ws_wd = Watchdog.snapshot w.wd;
+  }
+
+let restore_world (w : world) (s : world_snap) =
+  (* kernel first: rewinding the clock and emptying the heap before the
+     transport restores lets the bus slave they re-spawn land its start
+     event at the warm-up boundary, in the restored heap *)
+  K.restore w.k s.ws_k;
+  (match (w.fb_pin, s.ws_pin) with
+  | Some fb, Some snap -> Faulty_bus.restore fb snap
+  | _ -> ());
+  (match (w.fb_tlm, s.ws_tlm) with
+  | Some fb, Some snap -> Faulty_bus.restore fb snap
+  | _ -> ());
+  (match (w.rel, s.ws_rel) with
+  | Some rel, Some snap -> Faulty_chan.restore rel snap
+  | _ -> ());
+  M.restore w.map s.ws_map;
+  Watchdog.restore w.wd s.ws_wd
+
+(* Fork engine: build the world once, run the fault-free warm-up to
+   quiescence (empty event heap), checkpoint, then rewind + re-spawn
+   per cell.  The inactive injector draws nothing during warm-up, so
+   the faults landed in each window are a pure function of (seed, rate,
+   window ops) — byte-identical to the rerun engine's. *)
+let fork_cells ~seed ~warmup ~ops ~rates mechanism : FR.cell list =
+  let w = make_world ~warmup ~ops mechanism in
+  spawn_sink w;
+  spawn_master w (fresh_state w) ~lo:0 ~hi:w.warmup ~finish:false;
+  ignore (K.run ~expect_quiescent:true w.k);
+  let checkpoint = snapshot_world w in
+  let fork rate =
+    restore_world w checkpoint;
+    Injector.reinit w.inj ~rate ~seed;
+    let st = fresh_state w in
+    (* sink before master, as in [make_world]-then-run: same-time start
+       events keep the same relative order on both engines *)
+    spawn_sink w;
+    spawn_master w st ~lo:w.warmup ~hi:w.total ~finish:true;
+    ignore (K.run ~until:200_000_000 ~expect_quiescent:true w.k);
+    audit w st ~rate
+  in
+  let baseline = fork 0.0 in
+  baseline :: List.map (fun rate -> with_overhead ~baseline (fork rate)) rates
+
+let run_cell ~seed ~ops ?warmup ~rate mechanism =
+  let warmup = match warmup with Some n -> n | None -> default_warmup ops in
+  let baseline = rerun_cell ~seed ~warmup ~ops ~rate:0.0 mechanism in
+  with_overhead ~baseline (rerun_cell ~seed ~warmup ~ops ~rate mechanism)
 
 (* ------------------------------------------------------------------ *)
 (* drills                                                              *)
@@ -419,20 +564,36 @@ let drill_rtl () : FR.drill list =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(seed = 42) ?(ops = default_ops) ?(rates = default_rates) () : FR.t =
-  let cells =
-    List.concat_map
-      (fun mechanism ->
-        let baseline = raw_cell ~seed ~ops ~rate:0.0 mechanism in
-        baseline
-        :: List.map
-             (fun rate ->
-               with_overhead ~baseline (raw_cell ~seed ~ops ~rate mechanism))
-             rates)
-      mechanisms
-  in
+let sweep ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
+    engine : FR.cell list =
+  let warmup = match warmup with Some n -> n | None -> default_warmup ops in
+  List.concat_map
+    (fun mechanism ->
+      match engine with
+      | Fork -> fork_cells ~seed ~warmup ~ops ~rates mechanism
+      | Rerun ->
+          let baseline = rerun_cell ~seed ~warmup ~ops ~rate:0.0 mechanism in
+          baseline
+          :: List.map
+               (fun rate ->
+                 with_overhead ~baseline
+                   (rerun_cell ~seed ~warmup ~ops ~rate mechanism))
+               rates)
+    mechanisms
+
+let run ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
+    ?(engine = Fork) () : FR.t =
+  let warmup = match warmup with Some n -> n | None -> default_warmup ops in
+  let cells = sweep ~seed ~ops ~warmup ~rates engine in
   let drills =
     drill_memory ~seed @ drill_irq ~seed @ drill_cpu ~seed @ drill_rtl ()
   in
-  { FR.schema_version = FR.schema_version; seed; ops_per_cell = ops; rates;
-    cells; drills }
+  {
+    FR.schema_version = FR.schema_version;
+    seed;
+    ops_per_cell = ops;
+    warmup_per_cell = warmup;
+    rates;
+    cells;
+    drills;
+  }

@@ -2,9 +2,13 @@
     over one fixed transfer workload, and drill the remaining injector
     sites, producing an {!Codesign_obs.Fault_report.t}.
 
-    {b The sweep.}  Each cell moves [ops] words from a source ROM to a
-    sink RAM across a faulty medium, using one rung of the Fig. 3
-    interface ladder and that rung's recovery mechanism:
+    {b The sweep.}  Each cell moves [warmup + ops] words from a source
+    ROM to a sink RAM across a faulty medium, using one rung of the
+    Fig. 3 interface ladder and that rung's recovery mechanism.  The
+    first [warmup] transfers are fault-free (the injector is inactive
+    and draws nothing); faults land only in the [ops]-transfer
+    injection window, and the report's per-cell [ops] counts the window
+    alone:
 
     - ["pin"]: pin-accurate bus, raw transfers.  No checks exist at this
       level — corruption is silent, a dropped response hangs the master
@@ -32,8 +36,21 @@
     stuck-at faults (every single stuck-at on a TMR replica gate vs the
     bare netlist, exhaustive over input vectors).
 
+    {b The engines.}  The warm-up + window structure exists so the
+    sweep can {e fork from a checkpoint}: the {!Fork} engine builds each
+    mechanism's world once, runs the warm-up to quiescence, snapshots
+    every stateful substrate (kernel, memory map, faulty buses, ARQ
+    channel, watchdog) and rewinds that checkpoint once per rate; the
+    {!Rerun} engine rebuilds the world and repeats the warm-up for
+    every cell.  Because the inactive injector consumes no Rng draws
+    during warm-up, and the per-fork re-spawns preserve same-time event
+    order, both engines produce byte-identical reports — Rerun is kept
+    as the reference the fork path is checked against (in CI and in the
+    property tests).
+
     Everything is a pure function of [seed] and the parameters: no wall
-    clock anywhere, so equal seeds give byte-identical reports. *)
+    clock anywhere, so equal seeds give byte-identical reports.  The
+    engine is deliberately {e not} recorded in the report. *)
 
 type mechanism = Pin | Tlm | Token | Degrade
 
@@ -41,18 +58,38 @@ val mechanism_name : mechanism -> string
 val mechanisms : mechanism list
 (** In ladder order: [Pin; Tlm; Token; Degrade]. *)
 
+type engine =
+  | Rerun  (** rebuild world + warm-up from scratch for every cell *)
+  | Fork  (** warm up once per mechanism, fork each cell off a checkpoint *)
+
+val engine_name : engine -> string
+val engine_of_string : string -> (engine, string) result
+
 val default_rates : float list
 val default_ops : int
 val quick_ops : int
 
+val default_warmup : int -> int
+(** Warm-up transfers used when [?warmup] is omitted: [ops / 2]. *)
+
 val run_cell :
-  seed:int -> ops:int -> rate:float -> mechanism ->
+  seed:int -> ops:int -> ?warmup:int -> rate:float -> mechanism ->
   Codesign_obs.Fault_report.cell
 (** One sweep point ([cycle_overhead] computed against an internal
-    rate-0 run of the same mechanism). *)
+    rate-0 run of the same mechanism), on the reference (rerun)
+    engine.  [warmup] defaults to [default_warmup ops]. *)
+
+val sweep :
+  ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list -> engine ->
+  Codesign_obs.Fault_report.cell list
+(** The transfer sweep alone (no drills), on the given engine — what
+    the fork-vs-rerun microbenchmarks and identity checks exercise.
+    Cell order: for each mechanism in ladder order, the rate-0 baseline
+    then each rate in [rates]. *)
 
 val run :
-  ?seed:int -> ?ops:int -> ?rates:float list -> unit ->
-  Codesign_obs.Fault_report.t
+  ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list ->
+  ?engine:engine -> unit -> Codesign_obs.Fault_report.t
 (** The full campaign.  Defaults: [seed = 42], [ops = default_ops],
-    [rates = default_rates]. *)
+    [warmup = default_warmup ops], [rates = default_rates],
+    [engine = Fork]. *)

@@ -33,6 +33,27 @@ let create ?(hang = 2000) ?(timeout = 64) ?(stuck_cycles = 600) k inj tr =
 
 let stuck_active t = K.now t.k < t.stuck_until
 
+type snap = {
+  s_stuck_until : int;
+  s_stuck_bit : int;
+  s_stuck_val : int;
+  s_tr : T.snap;
+}
+
+let snapshot t =
+  {
+    s_stuck_until = t.stuck_until;
+    s_stuck_bit = t.stuck_bit;
+    s_stuck_val = t.stuck_val;
+    s_tr = T.snapshot t.tr;
+  }
+
+let restore t s =
+  t.stuck_until <- s.s_stuck_until;
+  t.stuck_bit <- s.s_stuck_bit;
+  t.stuck_val <- s.s_stuck_val;
+  T.restore t.tr s.s_tr
+
 (* Campaign data fits in the low 10 bits, so faults there always alter
    the word visibly. *)
 let data_bits = 10

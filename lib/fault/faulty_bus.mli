@@ -55,3 +55,15 @@ val raw_transport : t -> Codesign_bus.Transport.t
     through faulty reads.  This is what plugs into
     {!Codesign.Cosim.run_echo_assignment}'s [wrap] hook to fault an
     arbitrary level assignment. *)
+
+(** {2 Snapshot / restore}
+
+    Captures the stuck-at window state plus the wrapped transport's
+    snapshot (see {!Codesign_bus.Transport.snapshot} — the transport
+    must carry the [save] capability).  The shared {!Injector} is not
+    captured; forked campaigns {!Injector.reinit} it per fork. *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit

@@ -47,6 +47,30 @@ let create ?(retries = 8) ?(ack_timeout = 40) ?(poll = 4) ?(link_delay = 2) k
   }
 
 let retransmissions t = t.retrans
+
+type snap = {
+  s_data : frame Ch.snap;
+  s_ack : (int * int) Ch.snap;
+  s_next_seq : int;
+  s_expected : int;
+  s_retrans : int;
+}
+
+let snapshot t =
+  {
+    s_data = Ch.snapshot t.data;
+    s_ack = Ch.snapshot t.ack;
+    s_next_seq = t.next_seq;
+    s_expected = t.expected;
+    s_retrans = t.retrans;
+  }
+
+let restore t s =
+  Ch.restore t.data s.s_data;
+  Ch.restore t.ack s.s_ack;
+  t.next_seq <- s.s_next_seq;
+  t.expected <- s.s_expected;
+  t.retrans <- s.s_retrans
 let inj_event t = Injector.injected_event t.inj Injector.Chan ~time:(K.now t.k)
 let det_event t = Injector.detected_event t.inj Injector.Chan ~time:(K.now t.k)
 

@@ -43,3 +43,18 @@ val recv : t -> (int * int) option
     stream.  Must run inside a kernel process. *)
 
 val retransmissions : t -> int
+
+(** {2 Snapshot / restore}
+
+    Captures both link channels (buffered frames + counters; blocked
+    endpoints are abandoned on restore, per
+    {!Codesign_sim.Channel.restore}) and the ARQ state (sequence
+    numbers, retransmission count).  Because sequence numbering
+    continues from wherever the snapshot left it, a forked timeline's
+    frames stay in protocol with a freshly re-spawned receiver.  The
+    shared {!Injector} is not captured. *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit

@@ -22,7 +22,8 @@ let n_sites = 6
 
 type t = {
   rng : Rng.t;
-  rate : float;
+  mutable rate : float;
+  mutable active : bool;
   injected_by : int array;
   (* oldest-first pending injection stamps, one queue per site *)
   pending_by : int Queue.t array;
@@ -30,20 +31,36 @@ type t = {
   mutable latency_sum : int;
 }
 
-let create ?(rate = 0.0) ~seed () =
+let check_rate rate =
   if not (rate >= 0.0 && rate <= 1.0) then
-    invalid_arg "Injector.create: rate must be within [0, 1]";
+    invalid_arg "Injector: rate must be within [0, 1]"
+
+let create ?(rate = 0.0) ?(active = true) ~seed () =
+  check_rate rate;
   {
     rng = Rng.create seed;
     rate;
+    active;
     injected_by = Array.make n_sites 0;
     pending_by = Array.init n_sites (fun _ -> Queue.create ());
     detected = 0;
     latency_sum = 0;
   }
 
+let reinit t ~rate ~seed =
+  check_rate rate;
+  Rng.reseed t.rng seed;
+  t.rate <- rate;
+  t.active <- false;
+  Array.fill t.injected_by 0 n_sites 0;
+  Array.iter Queue.clear t.pending_by;
+  t.detected <- 0;
+  t.latency_sum <- 0
+
 let rate t = t.rate
-let fires t = Rng.float t.rng < t.rate
+let set_active t on = t.active <- on
+let is_active t = t.active
+let fires t = t.active && Rng.float t.rng < t.rate
 let shape t = t.rng
 
 let injected_event t site ~time =

@@ -32,16 +32,35 @@ val site_name : site -> string
 
 type t
 
-val create : ?rate:float -> seed:int -> unit -> t
+val create : ?rate:float -> ?active:bool -> seed:int -> unit -> t
 (** [rate] (default 0.0) is the per-decision-point fault probability.
+    [active] (default [true]) gates the whole injector: while inactive,
+    {!fires} answers [false] without drawing — see {!set_active}.
+    @raise Invalid_argument unless [0.0 <= rate <= 1.0]. *)
+
+val reinit : t -> rate:float -> seed:int -> unit
+(** Reset the injector in place to the state [create ~rate ~active:false
+    ~seed ()] would produce: reseeds the Rng stream, zeroes every
+    counter and pending queue, and deactivates.  The forked fault
+    campaigns reuse one injector across checkpoint restores this way.
     @raise Invalid_argument unless [0.0 <= rate <= 1.0]. *)
 
 val rate : t -> float
 
+val set_active : t -> bool -> unit
+(** Open or close the injection window.  While inactive, {!fires} is
+    [false] and consumes {e no} Rng draw — so a warm-up phase run before
+    activation leaves the fault stream untouched, and the faults landed
+    in the window are a pure function of (seed, window ops) regardless
+    of how the world reached the window. *)
+
+val is_active : t -> bool
+
 val fires : t -> bool
-(** One decision draw: [true] with probability [rate].  Always consumes
-    exactly one Rng draw, so control flow downstream of the answer does
-    not perturb the stream for later decision points. *)
+(** One decision draw: [true] with probability [rate].  When active,
+    always consumes exactly one Rng draw, so control flow downstream of
+    the answer does not perturb the stream for later decision points;
+    when inactive, answers [false] and draws nothing. *)
 
 val shape : t -> Codesign_ir.Rng.t
 (** The stream for follow-up draws (fault kind, bit index, ...). *)

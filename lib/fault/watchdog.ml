@@ -34,3 +34,13 @@ let stop t =
   t.generation <- t.generation + 1
 
 let bites t = t.bites
+
+type snap = { s_generation : int; s_armed : bool; s_bites : int }
+
+let snapshot t =
+  { s_generation = t.generation; s_armed = t.armed; s_bites = t.bites }
+
+let restore t s =
+  t.generation <- s.s_generation;
+  t.armed <- s.s_armed;
+  t.bites <- s.s_bites

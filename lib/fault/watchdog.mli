@@ -28,3 +28,16 @@ val stop : t -> unit
 
 val bites : t -> int
 (** Expiries so far. *)
+
+(** {2 Snapshot / restore}
+
+    Captures the generation counter, armed flag and bite count.  Expiry
+    events already scheduled on the kernel are {e not} captured here —
+    they live in the event heap ({!Codesign_sim.Event_queue.snapshot})
+    and are generation-guarded, so a restored watchdog ignores any stale
+    expiry that survives in a restored heap. *)
+
+type snap
+
+val snapshot : t -> snap
+val restore : t -> snap -> unit

@@ -107,6 +107,13 @@ let run_net ~mapping p =
   with
   | exception e ->
       Error (Printf.sprintf "run_network raised %s" (Printexc.to_string e))
+  | r when r.Cosim.net_outcome <> Cosim.Net_completed ->
+      let p, m =
+        match r.Cosim.net_outcome with
+        | Cosim.Net_trapped (p, m) -> (p, m)
+        | Cosim.Net_completed -> assert false
+      in
+      Error (Printf.sprintf "net: %s trapped: %s" p m)
   | r ->
       let trace =
         List.filter_map

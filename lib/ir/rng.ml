@@ -1,6 +1,7 @@
 type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }
+let reseed t seed = t.state <- Int64.of_int seed
 
 (* SplitMix64 step *)
 let next_int64 t =

@@ -8,6 +8,12 @@ type t
 val create : int -> t
 (** Seeded generator; equal seeds give equal streams. *)
 
+val reseed : t -> int -> unit
+(** Reset the generator in place to exactly the state [create seed]
+    would produce — the forked fault campaigns reuse one generator
+    across checkpoint restores this way instead of allocating a fresh
+    one per fork. *)
+
 val int : t -> int -> int
 (** [int t bound] draws uniformly from [0, bound).
     @raise Invalid_argument if [bound <= 0]. *)

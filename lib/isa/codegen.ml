@@ -351,6 +351,15 @@ let read_array lay cpu a i =
   | Some addr -> Cpu.read_mem cpu (addr + i)
   | None -> invalid_arg ("Codegen.read_array: unknown array " ^ a)
 
+exception Trapped of { proc : string; pc : int; msg : string }
+
+let () =
+  Printexc.register_printer (function
+    | Trapped { proc; pc; msg } ->
+        Some
+          (Printf.sprintf "Codegen.Trapped(proc %S, pc %d): %s" proc pc msg)
+    | _ -> None)
+
 let run_compiled ?(env = Cpu.default_env) ?fuel (p : B.proc) bindings =
   let items, lay = compile p in
   let img = Asm.assemble items in
@@ -358,6 +367,7 @@ let run_compiled ?(env = Cpu.default_env) ?fuel (p : B.proc) bindings =
   bind lay cpu bindings;
   (match Cpu.run ?fuel cpu with
   | Cpu.Halted -> ()
-  | Cpu.Trapped msg -> failwith ("Codegen.run_compiled: trapped: " ^ msg)
+  | Cpu.Trapped msg ->
+      raise (Trapped { proc = p.B.name; pc = Cpu.pc cpu; msg })
   | Cpu.Running -> assert false);
   (List.map (fun v -> (v, result lay cpu v)) p.B.results, cpu)

@@ -61,6 +61,14 @@ val result : layout -> Cpu.t -> string -> int
 val read_array : layout -> Cpu.t -> string -> int -> int
 (** Reads one array cell back from CPU memory. *)
 
+exception Trapped of { proc : string; pc : int; msg : string }
+(** The CPU trapped while executing a compiled behaviour: which
+    behaviour, the program counter at the trap, and the CPU's trap
+    message.  Raised by {!run_compiled} (and by
+    [Codesign.Hotspot.analyze], which profiles through it) instead of a
+    bare [Failure] so callers can distinguish a trapping workload from
+    other failures and report the faulting site. *)
+
 val run_compiled :
   ?env:Cpu.env ->
   ?fuel:int ->
@@ -69,4 +77,4 @@ val run_compiled :
   (string * int) list * Cpu.t
 (** Convenience: compile, assemble, bind, run to halt, and return the
     [results] variables plus the CPU (for cycle counts).
-    @raise Failure if the CPU traps. *)
+    @raise Trapped if the CPU traps. *)

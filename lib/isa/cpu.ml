@@ -72,6 +72,47 @@ let reset t =
   t.irq_line <- false;
   t.retire_cb <- None
 
+type snap = {
+  s_mem : int array;
+  s_regs : int array;
+  s_pc : int;
+  s_cycles : int;
+  s_instret : int;
+  s_status : status;
+  s_irq_line : bool;
+  s_irq_enable : bool;
+  s_in_isr : bool;
+  s_epc : int;
+}
+
+let snapshot t =
+  {
+    s_mem = Array.copy t.mem;
+    s_regs = Array.copy t.regs;
+    s_pc = t.pc;
+    s_cycles = t.cycles;
+    s_instret = t.instret;
+    s_status = t.status;
+    s_irq_line = t.irq_line;
+    s_irq_enable = t.irq_enable;
+    s_in_isr = t.in_isr;
+    s_epc = t.epc;
+  }
+
+let restore t s =
+  if Array.length s.s_mem <> Array.length t.mem then
+    invalid_arg "Cpu.restore: snapshot from a CPU with a different mem size";
+  Array.blit s.s_mem 0 t.mem 0 (Array.length t.mem);
+  Array.blit s.s_regs 0 t.regs 0 (Array.length t.regs);
+  t.pc <- s.s_pc;
+  t.cycles <- s.s_cycles;
+  t.instret <- s.s_instret;
+  t.status <- s.s_status;
+  t.irq_line <- s.s_irq_line;
+  t.irq_enable <- s.s_irq_enable;
+  t.in_isr <- s.s_in_isr;
+  t.epc <- s.s_epc
+
 let status t = t.status
 let cycles t = t.cycles
 let pc t = t.pc

@@ -108,3 +108,22 @@ val run : ?fuel:int -> t -> status
 val on_retire : t -> (pc:int -> cycles:int -> unit) -> unit
 (** Install a retirement callback (used by the profiler): called after
     every completed instruction with its PC and cycle cost. *)
+
+(** {2 Snapshot / restore}
+
+    A snapshot deep-copies the complete architectural state: registers,
+    data memory, PC, cycle/instret counters, status and interrupt state
+    (request line, enable, in-ISR flag, saved EPC).  It does {e not}
+    capture the program (immutable and shared), the environment hooks,
+    the latency table or an installed {!on_retire} callback — those
+    belong to the harness around the core, not to the core's state, and
+    a fork that needs different hooks installs its own. *)
+
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Rewind architectural state to [snap].
+    @raise Invalid_argument if the snapshot came from a CPU with a
+    different memory size. *)

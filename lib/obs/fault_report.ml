@@ -29,12 +29,13 @@ type t = {
   schema_version : int;
   seed : int;
   ops_per_cell : int;
+  warmup_per_cell : int;
   rates : float list;
   cells : cell list;
   drills : drill list;
 }
 
-let schema_version = 1
+let schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 
@@ -79,6 +80,7 @@ let to_json (r : t) =
       ("schema_version", Json.Int r.schema_version);
       ("seed", Json.Int r.seed);
       ("ops_per_cell", Json.Int r.ops_per_cell);
+      ("warmup_per_cell", Json.Int r.warmup_per_cell);
       ("rates", Json.List (List.map (fun x -> Json.Float x) r.rates));
       ("cells", Json.List (List.map cell_to_json r.cells));
       ("drills", Json.List (List.map drill_to_json r.drills));
@@ -166,6 +168,7 @@ let of_json j =
   else
     let* seed = field "seed" Json.to_int j in
     let* ops_per_cell = field "ops_per_cell" Json.to_int j in
+    let* warmup_per_cell = field "warmup_per_cell" Json.to_int j in
     let* rs = field "rates" Json.to_list j in
     let* rates =
       all_of
@@ -179,7 +182,16 @@ let of_json j =
     let* cells = all_of cell_of_json cs in
     let* ds = field "drills" Json.to_list j in
     let* drills = all_of drill_of_json ds in
-    Ok { schema_version = version; seed; ops_per_cell; rates; cells; drills }
+    Ok
+      {
+        schema_version = version;
+        seed;
+        ops_per_cell;
+        warmup_per_cell;
+        rates;
+        cells;
+        drills;
+      }
 
 (* ------------------------------------------------------------------ *)
 

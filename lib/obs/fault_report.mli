@@ -54,13 +54,17 @@ type t = {
   schema_version : int;
   seed : int;
   ops_per_cell : int;
+  warmup_per_cell : int;
+      (** fault-free warm-up transfers run before each cell's injection
+          window opens (schema v2; cells report only the windowed ops) *)
   rates : float list;  (** fault rates swept (cells also cover rate 0) *)
   cells : cell list;
   drills : drill list;
 }
 
 val schema_version : int
-(** 1. *)
+(** 2.  v2 added [warmup_per_cell] when the campaign moved to a
+    warm-up + injection-window structure (fork-from-checkpoint). *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

@@ -179,6 +179,16 @@ let reset t =
   if Array.length t.values > 1 then t.values.(1) <- 1;
   t.cycles <- 0
 
+type snap = { s_values : int array; s_cycles : int }
+
+let snapshot t = { s_values = Array.copy t.values; s_cycles = t.cycles }
+
+let restore t s =
+  if Array.length s.s_values <> Array.length t.values then
+    invalid_arg "Logic_sim.restore: snapshot from a different netlist";
+  Array.blit s.s_values 0 t.values 0 (Array.length t.values);
+  t.cycles <- s.s_cycles
+
 let run_vectors ?(reset = true) t ~inputs vectors =
   if reset then
     (* fresh DFF/net state per call: vector responses must not depend on
@@ -256,6 +266,16 @@ module Interp = struct
     t.cycles <- t.cycles + 1
 
   let cycles_run t = t.cycles
+
+  type snap = { s_values : int array; s_cycles : int }
+
+  let snapshot t = { s_values = Array.copy t.values; s_cycles = t.cycles }
+
+  let restore t s =
+    if Array.length s.s_values <> Array.length t.values then
+      invalid_arg "Logic_sim.Interp.restore: snapshot from a different netlist";
+    Array.blit s.s_values 0 t.values 0 (Array.length t.values);
+    t.cycles <- s.s_cycles
 
   let reset t =
     Array.fill t.values 0 (Array.length t.values) 0;

@@ -53,6 +53,24 @@ val run_vectors :
     independent experiments; pass [~reset:false] to deliberately carry
     DFF/net state over from a previous run. *)
 
+(** {2 Snapshot / restore}
+
+    The complete mutable state of a compiled simulator is the net-value
+    array (DFF states live in it — each flop's Q is just a net) plus
+    the cycle counter; the compiled program, flop index arrays and name
+    tables are immutable after {!create}.  A snapshot copies exactly
+    that state, so [snapshot; perturb; restore] is observational
+    identity. *)
+
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Rewind net values (including every DFF) and the cycle counter.
+    @raise Invalid_argument if the snapshot came from a simulator over
+    a netlist with a different net count. *)
+
 (** The pre-compile interpreted evaluator (gate records, [List.nth]
     operand lookup), kept verbatim as a differential reference: the
     equivalence property tests run random netlists through both
@@ -74,4 +92,9 @@ module Interp : sig
   val run_vectors :
     t -> inputs:string list -> int list list -> (string * int list) list
   (** Always resets first, matching the compiled default. *)
+
+  type snap
+
+  val snapshot : t -> snap
+  val restore : t -> snap -> unit
 end

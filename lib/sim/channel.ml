@@ -33,6 +33,33 @@ let occupancy c = Queue.length c.buffer
 let stats c =
   { sends = c.sends; send_blocks = c.send_blocks; recv_blocks = c.recv_blocks }
 
+type 'a snap = {
+  s_buffer : 'a list;  (** front first *)
+  s_sends : int;
+  s_send_blocks : int;
+  s_recv_blocks : int;
+}
+
+let snapshot c =
+  {
+    s_buffer = List.of_seq (Queue.to_seq c.buffer);
+    s_sends = c.sends;
+    s_send_blocks = c.send_blocks;
+    s_recv_blocks = c.recv_blocks;
+  }
+
+let restore c s =
+  Queue.clear c.buffer;
+  List.iter (fun v -> Queue.push v c.buffer) s.s_buffer;
+  (* Waiting senders/receivers hold one-shot continuations belonging to
+     the timeline the snapshot was taken on; they are abandoned, never
+     resumed.  Forked worlds re-spawn their communicating processes. *)
+  Queue.clear c.waiting_senders;
+  Queue.clear c.waiting_receivers;
+  c.sends <- s.s_sends;
+  c.send_blocks <- s.s_send_blocks;
+  c.recv_blocks <- s.s_recv_blocks
+
 (* After removing from the buffer, a blocked sender (if any) can deposit
    its value. *)
 let refill c =

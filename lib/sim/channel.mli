@@ -42,3 +42,20 @@ val try_recv : 'a t -> 'a option
 
 val occupancy : 'a t -> int
 (** Messages currently buffered. *)
+
+(** {2 Snapshot / restore}
+
+    A snapshot copies the buffered messages and the traffic counters.
+    Blocked senders/receivers hold one-shot effect continuations and
+    cannot be captured: {!restore} {e abandons} any processes currently
+    waiting on the channel (their resume thunks are dropped, they are
+    never woken).  The supported fork discipline is to snapshot at
+    quiescence and re-spawn the channel's communicating processes after
+    each restore — see {!Kernel.snapshot}. *)
+
+type 'a snap
+
+val snapshot : 'a t -> 'a snap
+
+val restore : 'a t -> 'a snap -> unit
+(** Rewind buffer contents and counters; drop all current waiters. *)

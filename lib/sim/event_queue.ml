@@ -80,6 +80,30 @@ let pop_into t ~limit out =
        true
      end
 
+type snap = {
+  s_heap : entry array;
+  s_len : int;
+  s_next_seq : int;
+  s_pushed : int;
+}
+
+let snapshot t =
+  {
+    s_heap = Array.sub t.heap 0 t.len;
+    s_len = t.len;
+    s_next_seq = t.next_seq;
+    s_pushed = t.pushed;
+  }
+
+let restore t s =
+  let cap = max 64 s.s_len in
+  if Array.length t.heap < cap then t.heap <- Array.make cap dummy;
+  Array.blit s.s_heap 0 t.heap 0 s.s_len;
+  Array.fill t.heap s.s_len (Array.length t.heap - s.s_len) dummy;
+  t.len <- s.s_len;
+  t.next_seq <- s.s_next_seq;
+  t.pushed <- s.s_pushed
+
 let peek_time t = if t.len = 0 then None else Some t.heap.(0).time
 let min_time t = if t.len = 0 then max_int else t.heap.(0).time
 let size t = t.len

@@ -44,3 +44,24 @@ val is_empty : t -> bool
 
 val pushed_total : t -> int
 (** Number of pushes over the queue's lifetime (an event-count metric). *)
+
+(** {2 Snapshot / restore}
+
+    A snapshot copies the heap structure (times, sequence numbers,
+    push counter) but shares the event {e thunks} with the live queue:
+    closures cannot be deep-copied.  Restoring therefore re-arms the
+    same thunks, which is only sound when every pending thunk is
+    re-entrant — bare {!Kernel.at} callbacks and process-start events
+    qualify; a thunk wrapping a one-shot effect continuation (a resumed
+    {!Kernel.wait}/[suspend]) does not and would raise "resumed twice"
+    when the restored copy fires after the original already ran.  The
+    fault campaigns sidestep this entirely by snapshotting only at
+    quiescence, when the heap is empty. *)
+
+type snap
+
+val snapshot : t -> snap
+(** Capture heap contents, insertion-sequence counter and push total. *)
+
+val restore : t -> snap -> unit
+(** Rewind the queue to [snap]; events pushed since are discarded. *)

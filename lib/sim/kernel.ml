@@ -187,6 +187,37 @@ let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
   end;
   stats k
 
+type snap = {
+  s_q : Event_queue.snap;
+  s_now : int;
+  s_events : int;
+  s_activations : int;
+  s_spawned : int;
+  s_next_block_id : int;
+  s_blocked : (int, string * bool) Hashtbl.t;
+}
+
+let snapshot k =
+  {
+    s_q = Event_queue.snapshot k.q;
+    s_now = k.now;
+    s_events = k.events;
+    s_activations = k.activations;
+    s_spawned = k.spawned;
+    s_next_block_id = k.next_block_id;
+    s_blocked = Hashtbl.copy k.blocked;
+  }
+
+let restore k s =
+  Event_queue.restore k.q s.s_q;
+  k.now <- s.s_now;
+  k.events <- s.s_events;
+  k.activations <- s.s_activations;
+  k.spawned <- s.s_spawned;
+  k.next_block_id <- s.s_next_block_id;
+  Hashtbl.reset k.blocked;
+  Hashtbl.iter (fun id v -> Hashtbl.replace k.blocked id v) s.s_blocked
+
 let trace k sink = k.tracer <- Some sink
 
 let emit k msg =

@@ -120,6 +120,34 @@ val suspend : register:((unit -> unit) -> unit) -> unit
 val self_name : unit -> string
 (** Name of the currently running process ("?" for callbacks). *)
 
+(** {2 Snapshot / restore}
+
+    A kernel snapshot captures the clock, the event heap (see the
+    {!Event_queue} caveats — pending thunks are shared, not copied, so
+    a snapshot is only truly forkable when the heap holds re-entrant
+    thunks or nothing at all), the per-kernel statistics counters and
+    the blocked-process table.  It does {e not} capture the tracer sink
+    or the per-domain cumulative totals, and it cannot capture the
+    insides of blocked processes: effect continuations are one-shot, so
+    a process blocked in {!suspend} at snapshot time belongs to the
+    timeline it was captured on.  The supported fork discipline —
+    used by the fault campaigns — is therefore: drain to quiescence
+    (empty heap), snapshot, and after each {!restore} re-[spawn] fresh
+    instances of whatever processes the forked world needs, abandoning
+    the old blocked ones (their {!Signal}/{!Channel} wait-queue entries
+    are dropped by the corresponding restores, and their [blocked]
+    entries were part of the snapshot, so [expect_quiescent] runs are
+    unaffected). *)
+
+type snap
+
+val snapshot : t -> snap
+
+val restore : t -> snap -> unit
+(** Rewind clock, heap and counters to [snap].  Processes spawned since
+    the snapshot lose their pending start events; processes blocked
+    since are abandoned (never resumed). *)
+
 (** {2 Tracing} *)
 
 val trace : t -> (int -> string -> unit) -> unit

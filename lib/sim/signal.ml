@@ -40,6 +40,17 @@ let rec await s pred =
     await s pred
   end
 
+type 'a snap = { s_value : 'a; s_writes : int }
+
+let snapshot s = { s_value = s.value; s_writes = s.writes }
+
+let restore s snap =
+  s.value <- snap.s_value;
+  s.writes <- snap.s_writes;
+  (* Waiters hold one-shot continuations from the snapshot's timeline;
+     abandon them — forked worlds re-spawn their processes. *)
+  s.waiters <- []
+
 let rec posedge s =
   ignore (await_change s);
   if s.value = 0 then posedge s

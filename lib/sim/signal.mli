@@ -39,3 +39,18 @@ val await : 'a t -> ('a -> bool) -> 'a
 val posedge : int t -> unit
 (** Block until a waking write leaves the value nonzero, skipping writes
     that leave it zero — a rising-edge wait for clock-like signals. *)
+
+(** {2 Snapshot / restore}
+
+    A snapshot captures the value and the write counter.  Processes
+    blocked in {!await_change}/{!await}/{!posedge} hold one-shot
+    continuations and cannot be captured: {!restore} drops the current
+    waiter list, abandoning them — see {!Kernel.snapshot} for the fork
+    discipline. *)
+
+type 'a snap
+
+val snapshot : 'a t -> 'a snap
+
+val restore : 'a t -> 'a snap -> unit
+(** Rewind value and write count; drop all current waiters. *)

@@ -289,6 +289,7 @@ let sample_fault_report () =
     Obs.Fault_report.schema_version = Obs.Fault_report.schema_version;
     seed = 42;
     ops_per_cell = 240;
+    warmup_per_cell = 120;
     rates = [ 0.02; 0.1 ];
     cells =
       [

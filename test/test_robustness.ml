@@ -216,6 +216,42 @@ let test_network_trap_surfaces () =
    with Invalid_argument _ -> ());
   ()
 
+let test_network_trap_is_structured () =
+  (* a runtime trap (a store into an array bigger than the CPU's data
+     memory) must come back as [Net_trapped] data — never as an
+     exception unwinding through the scheduler — and the rest of the
+     network must keep running to completion *)
+  let bad =
+    {
+      B.name = "bad";
+      params = [];
+      arrays = [ ("a", 100_000) ];
+      results = [];
+      body = [ B.Store ("a", B.Int 99_999, B.Int 1) ];
+    }
+  in
+  let healthy = Apps.producer ~chan:"c" ~count:3 () in
+  let consumer = Apps.consumer ~chan:"c" ~count:3 ~port:1 () in
+  let net =
+    Pn.make
+      [ (bad, Pn.Sw); (healthy, Pn.Sw); (consumer, Pn.Sw) ]
+      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 2 } ]
+  in
+  let r = Cosim.run_network net in
+  (match r.Cosim.net_outcome with
+  | Cosim.Net_trapped (p, m) ->
+      check Alcotest.string "names the trapped process" "bad" p;
+      check Alcotest.bool "message says what went wrong" true
+        (String.length m > 0)
+  | Cosim.Net_completed -> fail "expected Net_trapped");
+  check Alcotest.bool "trapped process yields no results" true
+    (List.assoc_opt "bad" r.Cosim.sw_results = None);
+  check Alcotest.int "healthy consumer still delivered" 1
+    (List.length
+       (List.filter (fun (p, _, _) -> p = "consumer") r.Cosim.port_writes));
+  check Alcotest.bool "healthy process results survive" true
+    (List.assoc_opt "consumer" r.Cosim.sw_results <> None)
+
 let test_unmapped_bus_address_raises () =
   let k = K.create () in
   let map =
@@ -432,6 +468,8 @@ let () =
             test_deadlock_names_every_blocked_process;
           Alcotest.test_case "bad store rejected" `Quick
             test_network_trap_surfaces;
+          Alcotest.test_case "runtime trap is structured" `Quick
+            test_network_trap_is_structured;
           Alcotest.test_case "unmapped address raises" `Quick
             test_unmapped_bus_address_raises;
           Alcotest.test_case "double resume rejected" `Quick
