@@ -3,17 +3,22 @@
      dune exec bin/codesign_cli.exe -- <command> ...
 
    Commands:
-     experiments [-q] [--json] [NAME...]  print experiment tables (default all)
+     experiments [-q] [--jobs N] [--json] [NAME...]
+                                    print experiment tables (default all)
      partition   [options]          partition a generated task graph
      cosynth     [options]          heterogeneous multiprocessor synthesis
      asip        KERNEL [options]   instruction-set extension flow
      cosim       [--level L] [--json]  co-simulate the echo system
-     fuzz        [--seed N] [--count N] [--fault] [--json]
+     fuzz        [--seed N] [--count N] [--fault] [--jobs N] [--json]
                                     cross-level differential fuzz
-     fault       [--seed N] [--ops N] [--quick] [--json] [--out FILE]
-                                    deterministic fault-injection campaign
+     fault       [--seed N] [--ops N] [--quick] [--jobs N] [--json]
+                 [--out FILE]       deterministic fault-injection campaign
      kernels                        list the benchmark kernels
-     disasm      KERNEL             show a kernel's compiled assembly      *)
+     disasm      KERNEL             show a kernel's compiled assembly
+
+   fuzz, fault and experiments take --jobs N: the work shards over the
+   shared Domain_pool and merges by task index, so reports and tables
+   are byte-identical at every N.                                        *)
 
 open Cmdliner
 open Codesign
@@ -35,6 +40,18 @@ let json_arg =
 let seed_arg =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload seed.")
 
+(* Shared by fuzz / fault / experiments: every parallel path merges
+   results by task index on the Domain_pool, so output is byte-identical
+   at any job count — N only changes wall time. *)
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Worker-domain count (default 1).  Reports and tables are \
+           byte-identical for every $(docv): parallel results merge \
+           deterministically by task index.")
+
 let tasks_arg =
   Arg.(
     value & opt int 12
@@ -55,11 +72,11 @@ let kernel_arg =
 
 (* One experiment run with the same measurement wrapper the bench
    harness uses, so CLI JSON records match BENCH_results.json entries. *)
-let measure_experiment ~quick (e : Registry.entry) =
+let measure_experiment ~quick ~jobs (e : Registry.entry) =
   let module K = Codesign_sim.Kernel in
   let before = K.domain_totals () in
   let t0 = Obs.Clock.now_ns () in
-  let table = e.Registry.run ~quick () in
+  let table = e.Registry.run ~quick ~jobs () in
   let wall_s = Obs.Clock.elapsed_s ~since:t0 in
   let after = K.domain_totals () in
   ( table,
@@ -85,7 +102,7 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"NAME" ~doc:"Experiment names (exp1..exp10, expA).")
   in
-  let run quick json names =
+  let run quick jobs json names =
     let selected =
       if names = [] then Registry.all
       else
@@ -99,21 +116,22 @@ let experiments_cmd =
       Error (`Msg "no matching experiments (try exp1..exp10, exp3m, expA, expF)")
     else if json then begin
       let records =
-        List.map (fun e -> snd (measure_experiment ~quick e)) selected
+        List.map (fun e -> snd (measure_experiment ~quick ~jobs e)) selected
       in
       print_endline (Obs.Json.to_string ~pretty:true (Obs.Json.List records));
       Ok ()
     end
     else begin
       List.iter
-        (fun (e : Registry.entry) -> print_endline (e.Registry.run ~quick ()))
+        (fun (e : Registry.entry) ->
+          print_endline (e.Registry.run ~quick ~jobs ()))
         selected;
       Ok ()
     end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Print reproduction experiment tables.")
-    Term.(term_result (const run $ quick $ json_arg $ names))
+    Term.(term_result (const run $ quick $ jobs_arg $ json_arg $ names))
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -350,8 +368,8 @@ let fuzz_cmd =
             "Also fuzz the fault-injection layer (campaign determinism and \
              faulty-transport delivery oracles).")
   in
-  let run seed count fault json =
-    let r = Codesign_fuzz.Fuzz.run ~seed ~count ~fault () in
+  let run seed count fault jobs json =
+    let r = Codesign_fuzz.Fuzz.run ~seed ~count ~fault ~jobs () in
     let module R = Obs.Fuzz_report in
     if json then
       print_endline (Obs.Json.to_string ~pretty:true (R.to_json r))
@@ -382,7 +400,8 @@ let fuzz_cmd =
     (Cmd.info "fuzz"
        ~doc:
          "Differentially fuzz the abstraction levels against each other.")
-    Term.(term_result (const run $ seed $ count $ fault $ json_arg))
+    Term.(
+      term_result (const run $ seed $ count $ fault $ jobs_arg $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fault                                                               *)
@@ -440,13 +459,13 @@ let fault_cmd =
             "Also write the JSON report to $(docv) and validate that it \
              round-trips through the reader.")
   in
-  let run seed ops quick engine warmup json out =
+  let run seed ops quick engine warmup jobs json out =
     let ops =
       match ops with
       | Some n -> n
       | None -> if quick then Campaign.quick_ops else Campaign.default_ops
     in
-    let r = Campaign.run ~seed ~ops ?warmup ~engine () in
+    let r = Campaign.run ~seed ~ops ?warmup ~engine ~jobs () in
     (match out with
     | None -> ()
     | Some file ->
@@ -475,7 +494,8 @@ let fault_cmd =
           interface ladder.")
     Term.(
       term_result
-        (const run $ seed $ ops $ quick $ engine $ warmup $ json_arg $ out))
+        (const run $ seed $ ops $ quick $ engine $ warmup $ jobs_arg
+       $ json_arg $ out))
 
 (* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)

@@ -31,16 +31,23 @@ let grid () =
         levels)
     levels
 
-let run_grid ~items ~work =
-  List.map
+(* The 64 grid points are independent co-simulations (each builds its
+   own kernel and media), so the sweep fans out over the shared
+   {!Codesign_par.Domain_pool}; results merge by grid index, making the
+   table a pure function of (items, work) at every [jobs]. *)
+let run_grid ?(jobs = 1) ~items ~work () =
+  let points = Array.of_list (grid ()) in
+  Codesign_par.Domain_pool.map ~jobs
+    ~name:(fun i -> Cosim.assignment_name points.(i))
     (fun a -> (a, Cosim.run_echo_assignment ~levels:a ~items ~work ()))
-    (grid ())
+    points
+  |> Array.to_list
 
 let params ~quick = if quick then (8, 4) else (32, 12)
 
-let run ?(quick = false) () =
+let run ?(quick = false) ?(jobs = 1) () =
   let items, work = params ~quick in
-  let all = run_grid ~items ~work in
+  let all = run_grid ~jobs ~items ~work () in
   let positions = List.init 10 (fun p -> p) in
   let rows =
     List.map
@@ -89,7 +96,7 @@ let run ?(quick = false) () =
 (* invariants asserted by the test suite *)
 let shape_holds ?(quick = true) () =
   let items, work = params ~quick in
-  let all = run_grid ~items ~work in
+  let all = run_grid ~items ~work () in
   let pin = List.assoc (Cosim.pure Cosim.Pin) all in
   let completed =
     List.for_all (fun (_, m) -> m.Cosim.outcome = Cosim.Completed) all

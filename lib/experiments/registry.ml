@@ -13,37 +13,41 @@
 type entry = {
   exp_id : string;  (** "EXP-1" .. "EXP-10", "EXP-A" *)
   cli_name : string;  (** "exp1" .. "exp10", "expA" *)
-  run : quick:bool -> unit -> string;  (** renders the experiment table *)
+  run : quick:bool -> jobs:int -> unit -> string;
+      (** renders the experiment table; [jobs] is the worker-domain
+          count for experiments with internal {!Codesign_par}
+          parallelism (EXP-3M's 64-assignment grid today — the others
+          ignore it).  Tables are byte-identical at every [jobs]. *)
 }
 
 let all =
   [
     { exp_id = "EXP-1"; cli_name = "exp1";
-      run = (fun ~quick () -> Exp_fig1.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig1.run ~quick ()) };
     { exp_id = "EXP-2"; cli_name = "exp2";
-      run = (fun ~quick () -> Exp_fig2.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig2.run ~quick ()) };
     { exp_id = "EXP-3"; cli_name = "exp3";
-      run = (fun ~quick () -> Exp_fig3.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig3.run ~quick ()) };
     { exp_id = "EXP-3M"; cli_name = "exp3m";
-      run = (fun ~quick () -> Exp_fig3m.run ~quick ()) };
+      run = (fun ~quick ~jobs () -> Exp_fig3m.run ~quick ~jobs ()) };
     { exp_id = "EXP-4"; cli_name = "exp4";
-      run = (fun ~quick () -> Exp_fig4.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig4.run ~quick ()) };
     { exp_id = "EXP-5"; cli_name = "exp5";
-      run = (fun ~quick () -> Exp_fig5.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig5.run ~quick ()) };
     { exp_id = "EXP-6"; cli_name = "exp6";
-      run = (fun ~quick () -> Exp_fig6.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig6.run ~quick ()) };
     { exp_id = "EXP-7"; cli_name = "exp7";
-      run = (fun ~quick () -> Exp_fig7.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig7.run ~quick ()) };
     { exp_id = "EXP-8"; cli_name = "exp8";
-      run = (fun ~quick () -> Exp_fig8.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig8.run ~quick ()) };
     { exp_id = "EXP-9"; cli_name = "exp9";
-      run = (fun ~quick () -> Exp_fig9.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fig9.run ~quick ()) };
     { exp_id = "EXP-10"; cli_name = "exp10";
-      run = (fun ~quick () -> Exp_criteria.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_criteria.run ~quick ()) };
     { exp_id = "EXP-A"; cli_name = "expA";
-      run = (fun ~quick () -> Exp_ablation.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_ablation.run ~quick ()) };
     { exp_id = "EXP-F"; cli_name = "expF";
-      run = (fun ~quick () -> Exp_fault.run ~quick ()) };
+      run = (fun ~quick ~jobs:_ () -> Exp_fault.run ~quick ()) };
   ]
 
 let ids = List.map (fun e -> e.exp_id) all

@@ -564,27 +564,37 @@ let drill_rtl () : FR.drill list =
 
 (* ------------------------------------------------------------------ *)
 
+(* All the cells of one mechanism, in report order: the rate-0 baseline
+   first, then each rate.  Self-contained — builds its own world(s) from
+   [seed] and touches nothing shared — so mechanisms are the unit of
+   domain-parallelism: each pool worker constructs, warms up and (on the
+   fork engine) checkpoints/rewinds its own private snapshot copy. *)
+let mechanism_cells ~seed ~warmup ~ops ~rates engine mechanism : FR.cell list =
+  match engine with
+  | Fork -> fork_cells ~seed ~warmup ~ops ~rates mechanism
+  | Rerun ->
+      let baseline = rerun_cell ~seed ~warmup ~ops ~rate:0.0 mechanism in
+      baseline
+      :: List.map
+           (fun rate ->
+             with_overhead ~baseline
+               (rerun_cell ~seed ~warmup ~ops ~rate mechanism))
+           rates
+
 let sweep ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
-    engine : FR.cell list =
+    ?(jobs = 1) engine : FR.cell list =
   let warmup = match warmup with Some n -> n | None -> default_warmup ops in
-  List.concat_map
-    (fun mechanism ->
-      match engine with
-      | Fork -> fork_cells ~seed ~warmup ~ops ~rates mechanism
-      | Rerun ->
-          let baseline = rerun_cell ~seed ~warmup ~ops ~rate:0.0 mechanism in
-          baseline
-          :: List.map
-               (fun rate ->
-                 with_overhead ~baseline
-                   (rerun_cell ~seed ~warmup ~ops ~rate mechanism))
-               rates)
-    mechanisms
+  let tasks = Array.of_list mechanisms in
+  Codesign_par.Domain_pool.map ~jobs
+    ~name:(fun i -> mechanism_name tasks.(i))
+    (mechanism_cells ~seed ~warmup ~ops ~rates engine)
+    tasks
+  |> Array.to_list |> List.concat
 
 let run ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
-    ?(engine = Fork) () : FR.t =
+    ?(engine = Fork) ?(jobs = 1) () : FR.t =
   let warmup = match warmup with Some n -> n | None -> default_warmup ops in
-  let cells = sweep ~seed ~ops ~warmup ~rates engine in
+  let cells = sweep ~seed ~ops ~warmup ~rates ~jobs engine in
   let drills =
     drill_memory ~seed @ drill_irq ~seed @ drill_cpu ~seed @ drill_rtl ()
   in

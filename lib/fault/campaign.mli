@@ -80,16 +80,26 @@ val run_cell :
     engine.  [warmup] defaults to [default_warmup ops]. *)
 
 val sweep :
-  ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list -> engine ->
-  Codesign_obs.Fault_report.cell list
+  ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list -> ?jobs:int ->
+  engine -> Codesign_obs.Fault_report.cell list
 (** The transfer sweep alone (no drills), on the given engine — what
     the fork-vs-rerun microbenchmarks and identity checks exercise.
     Cell order: for each mechanism in ladder order, the rate-0 baseline
-    then each rate in [rates]. *)
+    then each rate in [rates].
+
+    [jobs] (default 1) shards the sweep over a
+    {!Codesign_par.Domain_pool} with one task per mechanism; each worker
+    domain builds, warms up and (on {!Fork}) checkpoints its own private
+    world, and results merge back in ladder order.  Every cell is a pure
+    function of [(seed, rate, ops, warmup, mechanism)], so the cell list
+    — and hence the report JSON — is byte-identical at every [jobs]
+    (enforced by [test/test_parallel.ml] and the CI [cmp] step). *)
 
 val run :
   ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list ->
-  ?engine:engine -> unit -> Codesign_obs.Fault_report.t
+  ?engine:engine -> ?jobs:int -> unit -> Codesign_obs.Fault_report.t
 (** The full campaign.  Defaults: [seed = 42], [ops = default_ops],
     [warmup = default_warmup ops], [rates = default_rates],
-    [engine = Fork]. *)
+    [engine = Fork], [jobs = 1].  [jobs] parallelises the sweep exactly
+    as in {!sweep}; the drills always run serially on the calling
+    domain. *)

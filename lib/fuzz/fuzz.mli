@@ -20,6 +20,17 @@
     and shrinks the behaviour on divergence, so fault-triggered
     counterexamples minimise exactly like functional ones.
 
+    [jobs] (default 1) shards the corpus over a
+    {!Codesign_par.Domain_pool}, one task per case.  Each case already
+    owns an independent generator derived from the root seed
+    ([Rng.create (seed + i)]) and builds its own simulation worlds, so
+    the per-case outcomes are pure functions of the case seed; the pool
+    merges them back by case index, which makes the resulting
+    {!Codesign_obs.Fuzz_report.t} — counters, failure list and failure
+    order — identical at every [jobs] (only [wall_s] reflects the real
+    elapsed time).  Enforced by [test/test_parallel.ml] and the CI
+    [cmp] step.
+
     [transform_asm] is threaded through to {!Diff.check_behavior} for
     bug-injection tests. *)
 
@@ -27,8 +38,9 @@ val run :
   ?seed:int ->
   ?count:int ->
   ?fault:bool ->
+  ?jobs:int ->
   ?transform_asm:
     (Codesign_isa.Asm.item list -> Codesign_isa.Asm.item list) ->
   unit ->
   Codesign_obs.Fuzz_report.t
-(** Defaults: [seed = 42], [count = 200], [fault = false]. *)
+(** Defaults: [seed = 42], [count = 200], [fault = false], [jobs = 1]. *)

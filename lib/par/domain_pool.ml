@@ -1,0 +1,71 @@
+module K = Codesign_sim.Kernel
+
+exception
+  Worker_error of { index : int; task : string; message : string }
+
+let () =
+  Printexc.register_printer (function
+    | Worker_error { index; task; message } ->
+        Some
+          (Printf.sprintf "Domain_pool.Worker_error(task %d%s: %s)" index
+             (if task = "" then "" else Printf.sprintf " %S" task)
+             message)
+    | _ -> None)
+
+let default_jobs () = max 1 (Domain.recommended_domain_count ())
+
+(* Scan for the lowest-index failure; raise it or extract the results.
+   Shared by the serial and pooled paths so [jobs] cannot change what a
+   caller observes. *)
+let finish ~name results errors =
+  Array.iteri
+    (fun i err ->
+      match err with
+      | Some message -> raise (Worker_error { index = i; task = name i; message })
+      | None -> ())
+    errors;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let map ?jobs ?(name = fun _ -> "") f tasks =
+  let n = Array.length tasks in
+  let jobs =
+    min (max 1 (match jobs with Some j -> j | None -> default_jobs ())) (max 1 n)
+  in
+  let results = Array.make n None in
+  let errors = Array.make n None in
+  if jobs <= 1 then begin
+    Array.iteri
+      (fun i x ->
+        match f x with
+        | r -> results.(i) <- Some r
+        | exception e -> errors.(i) <- Some (Printexc.to_string e))
+      tasks;
+    finish ~name results errors
+  end
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f tasks.(i) with
+          | r -> results.(i) <- Some r
+          | exception e -> errors.(i) <- Some (Printexc.to_string e));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* Helpers return the kernel-counter delta their tasks contributed;
+       the caller folds each one into its own domain totals after the
+       join, so measurement wrappers see jobs-independent totals. *)
+    let helper () =
+      let before = K.domain_totals () in
+      worker ();
+      K.diff_totals ~after:(K.domain_totals ()) ~before
+    in
+    let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn helper) in
+    worker ();
+    List.iter (fun d -> K.merge_domain_totals (Domain.join d)) helpers;
+    finish ~name results errors
+  end

@@ -53,6 +53,21 @@ let domain_totals () =
     d_kernels = c.c_kernels;
   }
 
+let diff_totals ~after ~before =
+  {
+    d_events = after.d_events - before.d_events;
+    d_activations = after.d_activations - before.d_activations;
+    d_scheduled = after.d_scheduled - before.d_scheduled;
+    d_kernels = after.d_kernels - before.d_kernels;
+  }
+
+let merge_domain_totals d =
+  let c = Domain.DLS.get totals_key in
+  c.c_events <- c.c_events + d.d_events;
+  c.c_activations <- c.c_activations + d.d_activations;
+  c.c_scheduled <- c.c_scheduled + d.d_scheduled;
+  c.c_kernels <- c.c_kernels + d.d_kernels
+
 type _ Effect.t +=
   | Wait : int -> unit Effect.t
   | Yield : unit Effect.t

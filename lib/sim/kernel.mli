@@ -102,6 +102,20 @@ val domain_totals : unit -> domain_totals
 (** Cumulative totals for the calling domain (monotonically
     nondecreasing; snapshot before/after a workload and subtract). *)
 
+val diff_totals :
+  after:domain_totals -> before:domain_totals -> domain_totals
+(** Componentwise [after - before]: the delta a workload contributed
+    between two {!domain_totals} snapshots. *)
+
+val merge_domain_totals : domain_totals -> unit
+(** Add a delta into the calling domain's cumulative totals.  Used by
+    {!Codesign_par.Domain_pool} after joining its worker domains: each
+    worker's delta is folded back into the spawning domain, so a
+    measurement layer on the caller sees the same totals whether a
+    workload ran serially or was sharded over domains.  Addition is
+    commutative, so the merged totals do not depend on worker
+    scheduling. *)
+
 (** {2 Blocking primitives (call only inside a process)} *)
 
 val wait : int -> unit
