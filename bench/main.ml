@@ -253,6 +253,33 @@ let bench_fuzz_serial () = ignore (Fuzz.run ~seed:42 ~count:48 ~jobs:1 ())
 let bench_fuzz_parallel () =
   ignore (Fuzz.run ~seed:42 ~count:48 ~jobs:par_jobs ())
 
+(* The budgeted-run pair: the same 1k-wakeup network drained by a raw
+   Kernel.run and by Budget.run_kernel with generous fuel and a wall
+   deadline (so the ?stop polling path is exercised but never fires).
+   The pair quotes the whole price of supervision on the kernel hot
+   path — kept near zero by polling the wall clock only every 256
+   events and leaving the stop-free dispatch loop untouched. *)
+module Budget = Codesign_resil.Budget
+
+let budget_net () =
+  let k = Codesign_sim.Kernel.create () in
+  for p = 0 to 9 do
+    Codesign_sim.Kernel.spawn k (fun () ->
+        for _ = 1 to 100 do
+          Codesign_sim.Kernel.wait (1 + (p mod 7))
+        done)
+  done;
+  k
+
+let bench_kernel_unbudgeted () =
+  ignore (Codesign_sim.Kernel.run (budget_net ()))
+
+let bench_kernel_budgeted () =
+  ignore
+    (Budget.run_kernel
+       (Budget.create ~fuel:1_000_000 ~deadline_ms:60_000 ())
+       (budget_net ()))
+
 (* Returns the (name, ns/run OLS estimate) rows alongside printing them,
    so the JSON artifact carries the same numbers as the text report. *)
 let run_microbenchmarks () =
@@ -277,6 +304,8 @@ let run_microbenchmarks () =
         test "fault/campaign-parallel" bench_campaign_parallel;
         test "fuzz/corpus-48-serial" bench_fuzz_serial;
         test "fuzz/corpus-48-parallel" bench_fuzz_parallel;
+        test "resil/1k-wakeups-unbudgeted" bench_kernel_unbudgeted;
+        test "resil/1k-wakeups-budgeted" bench_kernel_budgeted;
       ]
   in
   let ols =

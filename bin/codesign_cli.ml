@@ -12,13 +12,17 @@
      fuzz        [--seed N] [--count N] [--fault] [--jobs N] [--json]
                                     cross-level differential fuzz
      fault       [--seed N] [--ops N] [--quick] [--jobs N] [--json]
-                 [--out FILE]       deterministic fault-injection campaign
+                 [--chaos trap|hang] [--cell-fuel N] [--out FILE]
+                                    deterministic fault-injection campaign
      kernels                        list the benchmark kernels
      disasm      KERNEL             show a kernel's compiled assembly
 
    fuzz, fault and experiments take --jobs N: the work shards over the
    shared Domain_pool and merges by task index, so reports and tables
-   are byte-identical at every N.                                        *)
+   are byte-identical at every N.  They also take --max-retries N and
+   --deadline-ms MS: failing units of work are retried per policy and
+   then recorded as degraded while the run completes (lib/resil).
+   Unknown subcommands or flags exit 2 with usage on stderr.             *)
 
 open Cmdliner
 open Codesign
@@ -27,6 +31,21 @@ module Tgff = Codesign_workloads.Tgff
 module Kernels = Codesign_workloads.Kernels
 module Registry = Codesign_experiments.Registry
 module Obs = Codesign_obs
+module Resil = Codesign_resil
+
+(* cmdliner 1.3 reports unknown subcommands / flags and term-level
+   failures (e.g. fuzz disagreements) alike as [Error `Term]; what
+   separates them is that a parse error never runs a command body.
+   Every body flips this on entry, and the exit mapping at the bottom
+   turns body-less [`Term] errors into the conventional exit 2. *)
+let command_ran = ref false
+
+let started f =
+  Term.(
+    const (fun x ->
+        command_ran := true;
+        x)
+    $ f)
 
 let json_arg =
   Arg.(
@@ -52,6 +71,33 @@ let jobs_arg =
            byte-identical for every $(docv): parallel results merge \
            deterministically by task index.")
 
+(* Shared by fuzz / fault / experiments: instead of aborting, a failing
+   unit of work (fuzz case, sweep cell, experiment) is retried in place
+   and then recorded as degraded while the run completes. *)
+let max_retries_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "max-retries" ] ~docv:"N"
+        ~doc:
+          "Retry a failing unit of work (fuzz case, sweep cell, \
+           experiment) up to $(docv) extra times before recording it as \
+           degraded.  Defaults: fault 2, fuzz 0, experiments 0.")
+
+let deadline_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline for the whole run; work not started when \
+           it passes is recorded as degraded (\"deadline exceeded\") \
+           instead of run.  Default: none.")
+
+(* --max-retries N as a restart policy: N immediate retries.  [None]
+   keeps each subsystem's own default. *)
+let policy_of_retries =
+  Option.map (fun n ->
+      Resil.Policy.create ~max_retries:n ~backoff:Resil.Policy.No_backoff ())
+
 let tasks_arg =
   Arg.(
     value & opt int 12
@@ -70,28 +116,54 @@ let kernel_arg =
 (* experiments                                                         *)
 (* ------------------------------------------------------------------ *)
 
+(* An experiment past the wall deadline, or still raising after its
+   retries, degrades (skipped / recorded) instead of aborting the run. *)
+let run_experiment_guarded ~budget ~policy ~quick ~jobs (e : Registry.entry) =
+  if Resil.Budget.past_deadline budget then Error "deadline exceeded"
+  else
+    match
+      Resil.Policy.retry policy (fun ~attempt:_ ->
+          match e.Registry.run ~quick ~jobs () with
+          | table -> Ok table
+          | exception exn -> Error (Printexc.to_string exn))
+    with
+    | Ok table -> Ok table
+    | Error { Resil.Policy.attempts; last_error } ->
+        Error (Printf.sprintf "%s (after %d attempts)" last_error attempts)
+
 (* One experiment run with the same measurement wrapper the bench
-   harness uses, so CLI JSON records match BENCH_results.json entries. *)
-let measure_experiment ~quick ~jobs (e : Registry.entry) =
+   harness uses, so CLI JSON records match BENCH_results.json entries.
+   A degraded experiment's record carries a ["degraded"] member instead
+   of the table. *)
+let measure_experiment ~budget ~policy ~quick ~jobs (e : Registry.entry) =
   let module K = Codesign_sim.Kernel in
   let before = K.domain_totals () in
   let t0 = Obs.Clock.now_ns () in
-  let table = e.Registry.run ~quick ~jobs () in
+  let outcome = run_experiment_guarded ~budget ~policy ~quick ~jobs e in
   let wall_s = Obs.Clock.elapsed_s ~since:t0 in
   let after = K.domain_totals () in
-  ( table,
+  let base =
+    [
+      ("name", Obs.Json.Str e.Registry.exp_id);
+      ("wall_s", Obs.Json.Float wall_s);
+      ("events", Obs.Json.Int (after.K.d_events - before.K.d_events));
+      ( "activations",
+        Obs.Json.Int (after.K.d_activations - before.K.d_activations) );
+      ("scheduled", Obs.Json.Int (after.K.d_scheduled - before.K.d_scheduled));
+      ("kernels", Obs.Json.Int (after.K.d_kernels - before.K.d_kernels));
+    ]
+  in
+  ( outcome,
     Obs.Json.Obj
-      [
-        ("name", Obs.Json.Str e.Registry.exp_id);
-        ("wall_s", Obs.Json.Float wall_s);
-        ("events", Obs.Json.Int (after.K.d_events - before.K.d_events));
-        ( "activations",
-          Obs.Json.Int (after.K.d_activations - before.K.d_activations) );
-        ("scheduled", Obs.Json.Int (after.K.d_scheduled - before.K.d_scheduled));
-        ("kernels", Obs.Json.Int (after.K.d_kernels - before.K.d_kernels));
-        ("table_checksum", Obs.Json.Str (Obs.Checksum.of_string table));
-        ("table", Obs.Json.Str table);
-      ] )
+      (base
+      @
+      match outcome with
+      | Ok table ->
+          [
+            ("table_checksum", Obs.Json.Str (Obs.Checksum.of_string table));
+            ("table", Obs.Json.Str table);
+          ]
+      | Error msg -> [ ("degraded", Obs.Json.Str msg) ]) )
 
 let experiments_cmd =
   let quick =
@@ -102,7 +174,7 @@ let experiments_cmd =
       value & pos_all string []
       & info [] ~docv:"NAME" ~doc:"Experiment names (exp1..exp10, expA).")
   in
-  let run quick jobs json names =
+  let run quick jobs json max_retries deadline_ms names =
     let selected =
       if names = [] then Registry.all
       else
@@ -112,11 +184,18 @@ let experiments_cmd =
             || List.mem e.Registry.exp_id names)
           Registry.all
     in
+    let budget = Resil.Budget.create ?deadline_ms () in
+    let policy =
+      Option.value (policy_of_retries max_retries)
+        ~default:Resil.Policy.no_retry
+    in
     if selected = [] then
       Error (`Msg "no matching experiments (try exp1..exp10, exp3m, expA, expF)")
     else if json then begin
       let records =
-        List.map (fun e -> snd (measure_experiment ~quick ~jobs e)) selected
+        List.map
+          (fun e -> snd (measure_experiment ~budget ~policy ~quick ~jobs e))
+          selected
       in
       print_endline (Obs.Json.to_string ~pretty:true (Obs.Json.List records));
       Ok ()
@@ -124,14 +203,22 @@ let experiments_cmd =
     else begin
       List.iter
         (fun (e : Registry.entry) ->
-          print_endline (e.Registry.run ~quick ~jobs ()))
+          match run_experiment_guarded ~budget ~policy ~quick ~jobs e with
+          | Ok table -> print_endline table
+          | Error msg ->
+              Printf.eprintf "codesign: experiment %s degraded: %s\n%!"
+                e.Registry.exp_id msg)
         selected;
       Ok ()
     end
   in
   Cmd.v
     (Cmd.info "experiments" ~doc:"Print reproduction experiment tables.")
-    Term.(term_result (const run $ quick $ jobs_arg $ json_arg $ names))
+    Term.(
+      term_result
+        (started
+           (const run $ quick $ jobs_arg $ json_arg $ max_retries_arg
+          $ deadline_arg $ names)))
 
 (* ------------------------------------------------------------------ *)
 (* partition                                                           *)
@@ -182,7 +269,7 @@ let partition_cmd =
   in
   Cmd.v
     (Cmd.info "partition" ~doc:"Partition a generated task graph.")
-    Term.(const run $ seed_arg $ tasks_arg $ budget $ algo)
+    Term.(started (const run $ seed_arg $ tasks_arg $ budget $ algo))
 
 (* ------------------------------------------------------------------ *)
 (* cosynth                                                             *)
@@ -229,7 +316,7 @@ let cosynth_cmd =
   in
   Cmd.v
     (Cmd.info "cosynth" ~doc:"Synthesise a heterogeneous multiprocessor.")
-    Term.(const run $ seed_arg $ tasks_arg $ algo)
+    Term.(started (const run $ seed_arg $ tasks_arg $ algo))
 
 (* ------------------------------------------------------------------ *)
 (* asip                                                                *)
@@ -260,7 +347,7 @@ let asip_cmd =
   in
   Cmd.v
     (Cmd.info "asip" ~doc:"Run the ASIP extension flow on a kernel.")
-    Term.(const run $ kernel_arg $ budget)
+    Term.(started (const run $ kernel_arg $ budget))
 
 (* ------------------------------------------------------------------ *)
 (* cosim                                                               *)
@@ -307,6 +394,7 @@ let cosim_cmd =
       match m.Cosim.outcome with
       | Cosim.Completed -> "completed"
       | Cosim.Not_halted reason -> "not-halted: " ^ reason
+      | Cosim.Exhausted reason -> "exhausted: " ^ reason
     in
     let shown =
       if Cosim.is_pure m.Cosim.assignment then
@@ -342,7 +430,7 @@ let cosim_cmd =
        ~doc:
          "Co-simulate the echo system at a given level, or a mixed \
           per-component level assignment.")
-    Term.(const run $ level $ levels $ items $ json_arg)
+    Term.(started (const run $ level $ levels $ items $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)
@@ -368,8 +456,11 @@ let fuzz_cmd =
             "Also fuzz the fault-injection layer (campaign determinism and \
              faulty-transport delivery oracles).")
   in
-  let run seed count fault jobs json =
-    let r = Codesign_fuzz.Fuzz.run ~seed ~count ~fault ~jobs () in
+  let run seed count fault jobs max_retries deadline_ms json =
+    let r =
+      Codesign_fuzz.Fuzz.run ~seed ~count ~fault ~jobs
+        ?policy:(policy_of_retries max_retries) ?deadline_ms ()
+    in
     let module R = Obs.Fuzz_report in
     if json then
       print_endline (Obs.Json.to_string ~pretty:true (R.to_json r))
@@ -387,7 +478,13 @@ let fuzz_cmd =
             (fun p -> Printf.printf "  shrunk counterexample:\n%s\n" p)
             f.R.f_program)
         r.R.failures;
-      if r.R.failures = [] then print_endline "all levels agree"
+      List.iter
+        (fun ((case_seed, d) : int * Obs.Degraded.t) ->
+          Printf.printf "DEGRADED case seed %d: %s (after %d attempts)\n"
+            case_seed d.Obs.Degraded.error d.Obs.Degraded.attempts)
+        r.R.degraded;
+      if r.R.failures = [] && r.R.degraded = [] then
+        print_endline "all levels agree"
     end;
     if r.R.failures = [] then Ok ()
     else
@@ -401,7 +498,10 @@ let fuzz_cmd =
        ~doc:
          "Differentially fuzz the abstraction levels against each other.")
     Term.(
-      term_result (const run $ seed $ count $ fault $ jobs_arg $ json_arg))
+      term_result
+        (started
+           (const run $ seed $ count $ fault $ jobs_arg $ max_retries_arg
+          $ deadline_arg $ json_arg)))
 
 (* ------------------------------------------------------------------ *)
 (* fault                                                               *)
@@ -459,13 +559,40 @@ let fault_cmd =
             "Also write the JSON report to $(docv) and validate that it \
              round-trips through the reader.")
   in
-  let run seed ops quick engine warmup jobs json out =
+  let chaos =
+    let chaos_conv =
+      Arg.enum
+        [ ("trap", Campaign.Chaos_trap); ("hang", Campaign.Chaos_hang) ]
+    in
+    Arg.(
+      value & opt (some chaos_conv) None
+      & info [ "chaos" ] ~docv:"KIND"
+          ~doc:
+            "Append a deliberately sabotaged sweep task ($(b,trap) raises \
+             mid-window, $(b,hang) spins until its fuel runs out); its \
+             cells come back degraded while every other cell is \
+             byte-identical to a run without $(b,--chaos).")
+  in
+  let cell_fuel =
+    Arg.(
+      value & opt (some int) None
+      & info [ "cell-fuel" ] ~docv:"UNITS"
+          ~doc:
+            "Simulated-time budget per sweep-cell attempt (default 200M \
+             units, the historic run bound).")
+  in
+  let run seed ops quick engine warmup jobs max_retries deadline_ms chaos
+      cell_fuel json out =
     let ops =
       match ops with
       | Some n -> n
       | None -> if quick then Campaign.quick_ops else Campaign.default_ops
     in
-    let r = Campaign.run ~seed ~ops ?warmup ~engine ~jobs () in
+    let r =
+      Campaign.run ~seed ~ops ?warmup ~engine ~jobs
+        ?policy:(policy_of_retries max_retries) ?cell_fuel ?deadline_ms
+        ?chaos ()
+    in
     (match out with
     | None -> ()
     | Some file ->
@@ -494,8 +621,10 @@ let fault_cmd =
           interface ladder.")
     Term.(
       term_result
-        (const run $ seed $ ops $ quick $ engine $ warmup $ jobs_arg
-       $ json_arg $ out))
+        (started
+           (const run $ seed $ ops $ quick $ engine $ warmup $ jobs_arg
+          $ max_retries_arg $ deadline_arg $ chaos $ cell_fuel $ json_arg
+          $ out)))
 
 (* ------------------------------------------------------------------ *)
 (* kernels / disasm                                                    *)
@@ -513,7 +642,7 @@ let kernels_cmd =
   in
   Cmd.v
     (Cmd.info "kernels" ~doc:"List the benchmark kernels.")
-    Term.(const run $ const ())
+    Term.(started (const run $ const ()))
 
 let disasm_cmd =
   let run (name, proc, _) =
@@ -529,7 +658,7 @@ let disasm_cmd =
   in
   Cmd.v
     (Cmd.info "disasm" ~doc:"Show a kernel's compiled assembly.")
-    Term.(const run $ kernel_arg)
+    Term.(started (const run $ kernel_arg))
 
 (* ------------------------------------------------------------------ *)
 
@@ -540,10 +669,21 @@ let () =
         "Mixed hardware/software system design — reproduction of Adams & \
          Thomas, DAC 1996."
   in
-  exit
-    (Cmd.eval
-       (Cmd.group info
-          [
-            experiments_cmd; partition_cmd; cosynth_cmd; asip_cmd; cosim_cmd;
-            fuzz_cmd; fault_cmd; kernels_cmd; disasm_cmd;
-          ]))
+  (* Unknown subcommands / flags are parse errors: cmdliner has already
+     printed the message and usage on stderr, we exit the conventional
+     2.  Term-level failures (e.g. fuzz disagreements) exit 1. *)
+  let code =
+    match
+      Cmd.eval_value
+        (Cmd.group info
+           [
+             experiments_cmd; partition_cmd; cosynth_cmd; asip_cmd; cosim_cmd;
+             fuzz_cmd; fault_cmd; kernels_cmd; disasm_cmd;
+           ])
+    with
+    | Ok (`Ok ()) | Ok `Help | Ok `Version -> 0
+    | Error `Parse -> 2
+    | Error `Term -> if !command_ran then 1 else 2
+    | Error `Exn -> Cmd.Exit.internal_error
+  in
+  exit code

@@ -1,5 +1,6 @@
 module B = Codesign_ir.Behavior
 module Pn = Codesign_ir.Process_network
+module Budget = Codesign_resil.Budget
 module K = Codesign_sim.Kernel
 module Ch = Codesign_sim.Channel
 module M = Codesign_bus.Memory_map
@@ -40,7 +41,7 @@ let parse_assignment s =
 
 let ladder_position a = T.rank a.src + T.rank a.cpu + T.rank a.sink
 
-type outcome = Completed | Not_halted of string
+type outcome = Completed | Not_halted of string | Exhausted of string
 
 type metrics = {
   level : level;
@@ -128,7 +129,7 @@ let message_sw_stmt_cycles = 8
    deliberately mirror them: source-side component, sink-side component,
    message endpoint processes, memory map, transports (a shared one when
    both interfaces sit on the same bus rung), software last. *)
-let run_echo_assignment ~levels ?(wrap = fun t -> t) ?(items = 16)
+let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
     ?(work = 8) ?(src_period = 200) ?(sink_period = 120) () =
   let { src = src_lvl; cpu = cpu_lvl; sink = sink_lvl } = levels in
   let k = K.create () in
@@ -278,21 +279,48 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?(items = 16)
   let pure_message =
     src_lvl = Message && cpu_lvl = Message && sink_lvl = Message
   in
-  let st =
-    if pure_message then K.run k
-    else K.run ~until:50_000_000 ~expect_quiescent:true k
+  (* Without a budget this is the historic path, byte for byte.  With
+     one, the run is additionally bounded by the budget's fuel (capped
+     at the historic 50M for bus-coupled assignments) and wall
+     deadline; exhaustion surfaces as [Exhausted], kernel intact. *)
+  let st, exhausted =
+    match budget with
+    | None ->
+        let st =
+          if pure_message then K.run k
+          else K.run ~until:50_000_000 ~expect_quiescent:true k
+        in
+        (st, None)
+    | Some b -> (
+        let b =
+          if pure_message then b
+          else
+            let fuel =
+              match Budget.fuel_left b with
+              | Some f -> min f 50_000_000
+              | None -> 50_000_000
+            in
+            Budget.with_fuel b ~fuel
+        in
+        match Budget.run_kernel b ~expect_quiescent:(not pure_message) k with
+        | Budget.Done st -> (st, None)
+        | Budget.Exhausted e -> (K.stats k, Some e))
   in
   let outcome =
-    match iss with
-    | Some (cpu, _) -> (
-        match Cpu.status cpu with
-        | Cpu.Halted -> Completed
-        | Cpu.Running ->
-            Not_halted "timeout: CPU still running at simulation bound"
-        | Cpu.Trapped m -> Not_halted ("trapped: " ^ m))
-    | None ->
-        if pure_message || !sw_done then Completed
-        else Not_halted "timeout: software still running at simulation bound"
+    match exhausted with
+    | Some e -> Exhausted ("budget exhausted: " ^ Budget.exhausted_name e)
+    | None -> (
+        match iss with
+        | Some (cpu, _) -> (
+            match Cpu.status cpu with
+            | Cpu.Halted -> Completed
+            | Cpu.Running ->
+                Not_halted "timeout: CPU still running at simulation bound"
+            | Cpu.Trapped m -> Not_halted ("trapped: " ^ m))
+        | None ->
+            if pure_message || !sw_done then Completed
+            else
+              Not_halted "timeout: software still running at simulation bound")
   in
   let checksum =
     match sink_dev with

@@ -85,6 +85,10 @@ type outcome =
           running, or the CPU trapped; the string says which.  A
           structured outcome rather than an exception so fault-injected
           and adversarial runs can observe the anomaly as data. *)
+  | Exhausted of string
+      (** a caller-supplied {!Codesign_resil.Budget} ran out (fuel or
+          wall deadline — the string says which) before the run
+          finished; only produced when [?budget] is passed *)
 
 type metrics = {
   level : level;
@@ -104,6 +108,7 @@ type metrics = {
 val run_echo_assignment :
   levels:assignment ->
   ?wrap:(Codesign_bus.Transport.t -> Codesign_bus.Transport.t) ->
+  ?budget:Codesign_resil.Budget.t ->
   ?items:int ->
   ?work:int ->
   ?src_period:int ->
@@ -116,7 +121,14 @@ val run_echo_assignment :
     as {!run_echo_system}.  All assignments compute the same [checksum];
     [events]/[activations] fall as any component moves up the ladder,
     and [bus_ops] is zero exactly when both interfaces are at
-    {!Message}. *)
+    {!Message}.
+
+    [budget] bounds the run in simulated fuel and/or wall time
+    ({!Codesign_resil.Budget}); when it runs out the metrics come back
+    with [outcome = Exhausted _] and best-effort partial counters, the
+    kernel state intact behind them.  Without [budget] the historic
+    bounds apply unchanged (bus-coupled assignments stop at 50M cycles
+    with [Not_halted], pure-message runs are unbounded). *)
 
 val run_echo_system :
   level:level ->

@@ -33,7 +33,14 @@ let render (r : FR.t) =
           Report.fp c.FR.recovery_rate;
           Report.ff c.FR.mean_detect_latency;
           Report.fp c.FR.cycle_overhead;
-          (match c.FR.degraded_to with Some l -> l | None -> "-");
+          (* a supervision-degraded cell (gave up after its restarts)
+             shows dead(attempts); otherwise the graceful-degradation
+             ladder label, exactly as before *)
+          (match c.FR.degraded with
+          | Some d ->
+              Printf.sprintf "dead(%d)" d.Codesign_obs.Degraded.attempts
+          | None -> (
+              match c.FR.degraded_to with Some l -> l | None -> "-"));
         ])
       r.FR.cells
   in

@@ -9,6 +9,10 @@ module Cpu = Codesign_isa.Cpu
 module Isa = Codesign_isa.Isa
 module Checksum = Codesign_obs.Checksum
 module FR = Codesign_obs.Fault_report
+module Degraded = Codesign_obs.Degraded
+module Policy = Codesign_resil.Policy
+module Budget = Codesign_resil.Budget
+module Supervisor = Codesign_resil.Supervisor
 
 type mechanism = Pin | Tlm | Token | Degrade
 
@@ -37,6 +41,27 @@ let engine_of_string s =
            other)
 
 let default_warmup ops = ops / 2
+
+(* Chaos harness faults: a sweep task whose master is sabotaged at its
+   first windowed op, exercising the supervision path end to end. *)
+type chaos = Chaos_trap | Chaos_hang
+
+let chaos_name = function Chaos_trap -> "trap" | Chaos_hang -> "hang"
+let chaos_label c = "chaos-" ^ chaos_name c
+
+let chaos_of_string s =
+  match String.lowercase_ascii s with
+  | "trap" -> Ok Chaos_trap
+  | "hang" -> Ok Chaos_hang
+  | other ->
+      Error
+        (Printf.sprintf "unknown chaos mode %S (expected trap | hang)" other)
+
+(* Cell supervision defaults: two restarts from the checkpoint, no
+   backoff (each attempt is deterministic, so pacing buys nothing), and
+   a fuel window matching the historic hard K.run bound. *)
+let default_policy = Policy.create ~max_retries:2 ~backoff:Policy.No_backoff ()
+let default_cell_fuel = 200_000_000
 
 (* ------------------------------------------------------------------ *)
 (* the transfer sweep                                                  *)
@@ -75,9 +100,10 @@ type world = {
   wd : Watchdog.t;
   warmup : int;
   total : int;  (* warmup + windowed ops *)
+  chaos : chaos option;  (* sabotage the master at its first windowed op *)
 }
 
-let make_world ~warmup ~ops mechanism : world =
+let make_world ?chaos ~warmup ~ops mechanism : world =
   let total = warmup + ops in
   let k = K.create () in
   let inj = Injector.create ~rate:0.0 ~active:false ~seed:0 () in
@@ -100,7 +126,7 @@ let make_world ~warmup ~ops mechanism : world =
   in
   let rel = if uses_token then Some (Faulty_chan.create k inj ()) else None in
   let wd = Watchdog.create k ~timeout:800 ~on_bite:(fun _ -> ()) in
-  { k; inj; map; mechanism; fb_pin; fb_tlm; rel; wd; warmup; total }
+  { k; inj; map; mechanism; fb_pin; fb_tlm; rel; wd; warmup; total; chaos }
 
 (* Per-cell accounting, fresh for every cell in both engines. *)
 type cell_state = {
@@ -128,33 +154,22 @@ let pin_op fb i =
   let v = Faulty_bus.raw_read fb (src_base + i) in
   Faulty_bus.raw_write fb (sink_base + i) v
 
+(* The tlm recovery mechanism as a named policy: [retry_budget] retries
+   with the historic linear [backoff * (attempt + 1)] ramp — the exact
+   schedule (8, 16, 24) the old hand-rolled loops spent. *)
+let tlm_policy =
+  Policy.create ~max_retries:retry_budget ~backoff:(Policy.Linear backoff) ()
+
 let tlm_op st fb i =
-  let rec rd n =
-    match Faulty_bus.read fb (src_base + i) with
-    | Ok v -> Some v
-    | Error _ ->
-        if n >= retry_budget then None
-        else begin
-          st.retries <- st.retries + 1;
-          K.wait (backoff * (n + 1));
-          rd (n + 1)
-        end
-  in
-  match rd 0 with
-  | None -> st.give_ups <- st.give_ups + 1
-  | Some v ->
-      let rec wr n =
-        match Faulty_bus.write fb (sink_base + i) v with
-        | Ok () -> true
-        | Error _ ->
-            if n >= retry_budget then false
-            else begin
-              st.retries <- st.retries + 1;
-              K.wait (backoff * (n + 1));
-              wr (n + 1)
-            end
-      in
-      if not (wr 0) then st.give_ups <- st.give_ups + 1
+  let on_retry ~attempt:_ ~delay:_ = st.retries <- st.retries + 1 in
+  match Faulty_bus.read_retry fb ~policy:tlm_policy ~on_retry (src_base + i) with
+  | Error _ -> st.give_ups <- st.give_ups + 1
+  | Ok v -> (
+      match
+        Faulty_bus.write_retry fb ~policy:tlm_policy ~on_retry (sink_base + i) v
+      with
+      | Ok () -> ()
+      | Error _ -> st.give_ups <- st.give_ups + 1)
 
 let token_op w st rel i =
   (* the OS-message rung reads the source functionally: no bus *)
@@ -185,6 +200,16 @@ let spawn_sink (w : world) =
 let spawn_master (w : world) (st : cell_state) ~lo ~hi ~finish =
   K.spawn ~name:"campaign.master" w.k (fun () ->
       for i = lo to hi - 1 do
+        (match w.chaos with
+        | Some Chaos_trap when i = w.warmup ->
+            failwith (Printf.sprintf "chaos: injected trap at op %d" i)
+        | Some Chaos_hang when i = w.warmup ->
+            (* spin in simulated time forever: only a fuel bound or the
+               wall deadline ends this attempt *)
+            while true do
+              K.wait 10_000
+            done
+        | _ -> ());
         if i = w.warmup then Injector.set_active w.inj true;
         if i >= w.warmup then Watchdog.kick w.wd;
         let before = Injector.injected w.inj in
@@ -260,15 +285,45 @@ let audit (w : world) (st : cell_state) ~rate : FR.cell =
     checksum_ok =
       Checksum.of_string (Buffer.contents buf_got)
       = Checksum.of_string (Buffer.contents buf_exp);
+    degraded = None;
   }
 
+(* The report row for a cell the supervisor declared dead: counters are
+   zeroed placeholders, the [degraded] record carries what is actually
+   known (last error, attempts spent, simulated time at the final
+   failure). *)
+let degraded_cell ~label ~rate ~ops ~error ~attempts ~elapsed : FR.cell =
+  {
+    FR.mechanism = label;
+    rate;
+    ops;
+    faulted_ops = 0;
+    injected = 0;
+    detected = 0;
+    recovered_ops = 0;
+    lost_ops = 0;
+    retries = 0;
+    watchdog_bites = 0;
+    degraded_to = None;
+    sim_cycles = 0;
+    cycle_overhead = 0.0;
+    recovery_rate = 0.0;
+    mean_detect_latency = 0.0;
+    checksum_ok = false;
+    degraded = Some { Degraded.error; attempts; elapsed };
+  }
+
+let is_degraded (c : FR.cell) = c.FR.degraded <> None
+
 let with_overhead ~baseline (c : FR.cell) =
-  let base = float_of_int baseline.FR.sim_cycles in
-  let overhead =
-    if base <= 0.0 then 0.0
-    else (float_of_int c.FR.sim_cycles -. base) /. base
-  in
-  { c with FR.cycle_overhead = overhead }
+  if is_degraded c || is_degraded baseline then c
+  else
+    let base = float_of_int baseline.FR.sim_cycles in
+    let overhead =
+      if base <= 0.0 then 0.0
+      else (float_of_int c.FR.sim_cycles -. base) /. base
+    in
+    { c with FR.cycle_overhead = overhead }
 
 (* ------------------------------------------------------------------ *)
 (* the two engines                                                     *)
@@ -283,8 +338,32 @@ let rerun_cell ~seed ~warmup ~ops ~rate mechanism : FR.cell =
   let st = fresh_state w in
   spawn_sink w;
   spawn_master w st ~lo:0 ~hi:w.total ~finish:true;
-  ignore (K.run ~until:200_000_000 ~expect_quiescent:true w.k);
+  ignore (K.run ~until:default_cell_fuel ~expect_quiescent:true w.k);
   audit w st ~rate
+
+(* One supervised rerun-engine attempt: each attempt rebuilds the world
+   from scratch (restart-from-zero is the rerun engine's notion of
+   restore), bounded by a fresh fuel window under the sweep deadline.
+   [elapsed] records simulated time at the failure point for the
+   degraded record. *)
+let rerun_attempt ?chaos ~seed ~warmup ~ops ~rate ~budget ~cell_fuel ~elapsed
+    mechanism =
+  let w = make_world ?chaos ~warmup ~ops mechanism in
+  Injector.reinit w.inj ~rate ~seed;
+  let st = fresh_state w in
+  spawn_sink w;
+  spawn_master w st ~lo:0 ~hi:w.total ~finish:true;
+  match
+    Budget.run_kernel (Budget.with_fuel budget ~fuel:cell_fuel)
+      ~expect_quiescent:true w.k
+  with
+  | Budget.Done _ -> Ok (audit w st ~rate)
+  | Budget.Exhausted e ->
+      elapsed := K.now w.k;
+      Error ("budget exhausted: " ^ Budget.exhausted_name e)
+  | exception e ->
+      elapsed := K.now w.k;
+      Error (Printexc.to_string e)
 
 (* Everything the fork engine rewinds between cells.  The injector is
    not part of the checkpoint: it is reinitialised per cell (exactly as
@@ -330,23 +409,61 @@ let restore_world (w : world) (s : world_snap) =
    quiescence (empty event heap), checkpoint, then rewind + re-spawn
    per cell.  The inactive injector draws nothing during warm-up, so
    the faults landed in each window are a pure function of (seed, rate,
-   window ops) — byte-identical to the rerun engine's. *)
-let fork_cells ~seed ~warmup ~ops ~rates mechanism : FR.cell list =
-  let w = make_world ~warmup ~ops mechanism in
+   window ops) — byte-identical to the rerun engine's.
+
+   Each cell runs under a {!Supervisor}: a trapped or fuel-exhausted
+   attempt rewinds to the warm-up checkpoint and retries per [policy]
+   (the injector is reinitialised inside the attempt, so a retry draws
+   the identical fault stream); a cell that exhausts its restart
+   intensity becomes a [degraded] row instead of aborting the sweep. *)
+let fork_cells ?chaos ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel
+    ~label mechanism : FR.cell list =
+  let w = make_world ?chaos ~warmup ~ops mechanism in
   spawn_sink w;
   spawn_master w (fresh_state w) ~lo:0 ~hi:w.warmup ~finish:false;
-  ignore (K.run ~expect_quiescent:true w.k);
+  (* deadline-only bound on the warm-up: no fuel, so a drained warm-up
+     leaves the clock exactly where an unbounded run would (the
+     checkpoint time is part of the byte-identity contract) *)
+  (match Budget.run_kernel budget ~expect_quiescent:true w.k with
+  | Budget.Done _ -> ()
+  | Budget.Exhausted e ->
+      failwith ("warmup budget exhausted: " ^ Budget.exhausted_name e));
   let checkpoint = snapshot_world w in
+  let restore () = restore_world w checkpoint in
   let fork rate =
-    restore_world w checkpoint;
-    Injector.reinit w.inj ~rate ~seed;
-    let st = fresh_state w in
-    (* sink before master, as in [make_world]-then-run: same-time start
-       events keep the same relative order on both engines *)
-    spawn_sink w;
-    spawn_master w st ~lo:w.warmup ~hi:w.total ~finish:true;
-    ignore (K.run ~until:200_000_000 ~expect_quiescent:true w.k);
-    audit w st ~rate
+    if Budget.past_deadline budget then
+      degraded_cell ~label ~rate ~ops ~error:"deadline exceeded" ~attempts:0
+        ~elapsed:0
+    else begin
+      let elapsed = ref 0 in
+      let attempt ~attempt:_ =
+        restore ();
+        Injector.reinit w.inj ~rate ~seed;
+        let st = fresh_state w in
+        (* sink before master, as in [make_world]-then-run: same-time
+           start events keep the same relative order on both engines *)
+        spawn_sink w;
+        spawn_master w st ~lo:w.warmup ~hi:w.total ~finish:true;
+        match
+          Budget.run_kernel (Budget.with_fuel budget ~fuel:cell_fuel)
+            ~expect_quiescent:true w.k
+        with
+        | Budget.Done _ -> Ok (audit w st ~rate)
+        | Budget.Exhausted e ->
+            elapsed := K.now w.k;
+            Error ("budget exhausted: " ^ Budget.exhausted_name e)
+        | exception e ->
+            elapsed := K.now w.k;
+            Error (Printexc.to_string e)
+      in
+      match Supervisor.run ~policy ~restore attempt with
+      | Supervisor.Completed { value; _ } -> value
+      | Supervisor.Gave_up { attempts; errors } ->
+          let error =
+            match List.rev errors with last :: _ -> last | [] -> "unknown"
+          in
+          degraded_cell ~label ~rate ~ops ~error ~attempts ~elapsed:!elapsed
+    end
   in
   let baseline = fork 0.0 in
   baseline :: List.map (fun rate -> with_overhead ~baseline (fork rate)) rates
@@ -564,37 +681,99 @@ let drill_rtl () : FR.drill list =
 
 (* ------------------------------------------------------------------ *)
 
-(* All the cells of one mechanism, in report order: the rate-0 baseline
-   first, then each rate.  Self-contained — builds its own world(s) from
-   [seed] and touches nothing shared — so mechanisms are the unit of
-   domain-parallelism: each pool worker constructs, warms up and (on the
-   fork engine) checkpoints/rewinds its own private snapshot copy. *)
-let mechanism_cells ~seed ~warmup ~ops ~rates engine mechanism : FR.cell list =
+(* All the cells of one sweep task, in report order: the rate-0
+   baseline first, then each rate.  Self-contained — builds its own
+   world(s) from [seed] and touches nothing shared — so tasks are the
+   unit of domain-parallelism: each pool worker constructs, warms up
+   and (on the fork engine) checkpoints/rewinds its own private
+   snapshot copy. *)
+let rerun_cells ?chaos ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel
+    ~label mechanism : FR.cell list =
+  let cell rate =
+    if Budget.past_deadline budget then
+      degraded_cell ~label ~rate ~ops ~error:"deadline exceeded" ~attempts:0
+        ~elapsed:0
+    else begin
+      let elapsed = ref 0 in
+      let attempt ~attempt:_ =
+        rerun_attempt ?chaos ~seed ~warmup ~ops ~rate ~budget ~cell_fuel
+          ~elapsed mechanism
+      in
+      (* restart-from-zero: every attempt rebuilds the world, so there
+         is nothing to rewind between attempts *)
+      match Supervisor.run ~policy ~restore:(fun () -> ()) attempt with
+      | Supervisor.Completed { value; _ } -> value
+      | Supervisor.Gave_up { attempts; errors } ->
+          let error =
+            match List.rev errors with last :: _ -> last | [] -> "unknown"
+          in
+          degraded_cell ~label ~rate ~ops ~error ~attempts ~elapsed:!elapsed
+    end
+  in
+  let baseline = cell 0.0 in
+  baseline :: List.map (fun rate -> with_overhead ~baseline (cell rate)) rates
+
+(* A sweep task: one of the four mechanisms, or an injected chaos
+   harness fault (a pin-level world whose master is sabotaged). *)
+type task = T_mech of mechanism | T_chaos of chaos
+
+let task_label = function
+  | T_mech m -> mechanism_name m
+  | T_chaos c -> chaos_label c
+
+let task_cells ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel engine task
+    : FR.cell list =
+  let chaos, mechanism =
+    match task with
+    | T_mech m -> (None, m)
+    | T_chaos c -> (Some c, Pin)
+  in
+  let label = task_label task in
   match engine with
-  | Fork -> fork_cells ~seed ~warmup ~ops ~rates mechanism
+  | Fork ->
+      fork_cells ?chaos ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel
+        ~label mechanism
   | Rerun ->
-      let baseline = rerun_cell ~seed ~warmup ~ops ~rate:0.0 mechanism in
-      baseline
-      :: List.map
-           (fun rate ->
-             with_overhead ~baseline
-               (rerun_cell ~seed ~warmup ~ops ~rate mechanism))
-           rates
+      rerun_cells ?chaos ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel
+        ~label mechanism
 
 let sweep ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
-    ?(jobs = 1) engine : FR.cell list =
+    ?(jobs = 1) ?(policy = default_policy) ?(cell_fuel = default_cell_fuel)
+    ?deadline_ms ?chaos engine : FR.cell list =
   let warmup = match warmup with Some n -> n | None -> default_warmup ops in
-  let tasks = Array.of_list mechanisms in
-  Codesign_par.Domain_pool.map ~jobs
-    ~name:(fun i -> mechanism_name tasks.(i))
-    (mechanism_cells ~seed ~warmup ~ops ~rates engine)
+  (* One wall deadline over the whole sweep (no sweep-level fuel); each
+     cell takes a fresh [cell_fuel] window under it. *)
+  let budget = Budget.create ?deadline_ms () in
+  let tasks =
+    Array.of_list
+      (List.map (fun m -> T_mech m) mechanisms
+      @ match chaos with None -> [] | Some c -> [ T_chaos c ])
+  in
+  Codesign_par.Domain_pool.map_result ~jobs
+    ~name:(fun i -> task_label tasks.(i))
+    (task_cells ~seed ~warmup ~ops ~rates ~policy ~budget ~cell_fuel engine)
     tasks
-  |> Array.to_list |> List.concat
+  |> Array.to_list
+  |> List.concat_map (function
+       | Ok cells -> cells
+       | Error { Codesign_par.Domain_pool.task; message; attempts; _ } ->
+           (* the whole task died outside cell supervision (e.g. its
+              warm-up): emit its full expected grid as degraded rows so
+              the report keeps its shape *)
+           List.map
+             (fun rate ->
+               degraded_cell ~label:task ~rate ~ops ~error:message ~attempts
+                 ~elapsed:0)
+             (0.0 :: rates))
 
 let run ?(seed = 42) ?(ops = default_ops) ?warmup ?(rates = default_rates)
-    ?(engine = Fork) ?(jobs = 1) () : FR.t =
+    ?(engine = Fork) ?(jobs = 1) ?(policy = default_policy)
+    ?(cell_fuel = default_cell_fuel) ?deadline_ms ?chaos () : FR.t =
   let warmup = match warmup with Some n -> n | None -> default_warmup ops in
-  let cells = sweep ~seed ~ops ~warmup ~rates ~jobs engine in
+  let cells =
+    sweep ~seed ~ops ~warmup ~rates ~jobs ~policy ~cell_fuel ?deadline_ms
+      ?chaos engine
+  in
   let drills =
     drill_memory ~seed @ drill_irq ~seed @ drill_cpu ~seed @ drill_rtl ()
   in

@@ -48,9 +48,27 @@
     as the reference the fork path is checked against (in CI and in the
     property tests).
 
-    Everything is a pure function of [seed] and the parameters: no wall
-    clock anywhere, so equal seeds give byte-identical reports.  The
-    engine is deliberately {e not} recorded in the report. *)
+    {b Supervision.}  Every cell runs under a
+    {!Codesign_resil.Supervisor}: an attempt that traps, deadlocks or
+    exhausts its [cell_fuel] window is rolled back (fork engine: rewind
+    to the warm-up checkpoint; rerun engine: rebuild from zero) and
+    retried per [policy]; a cell that spends its restart intensity is
+    emitted as a zeroed row carrying a
+    {!Codesign_obs.Degraded.t} record — the sweep {e completes} with
+    partial results instead of aborting.  [deadline_ms] adds a wall
+    deadline over the whole sweep: cells not yet started when it passes
+    degrade immediately with ["deadline exceeded"].  [chaos] appends a
+    sabotaged fifth task (mechanism ["chaos-trap"] / ["chaos-hang"])
+    whose master fails at its first windowed op — the supervision
+    path's own fault-injection harness, used by the chaos CI smoke.
+
+    Everything except wall-deadline cut-offs is a pure function of
+    [seed] and the parameters: no wall clock anywhere, so equal seeds
+    give byte-identical reports — including degraded rows, whose
+    [elapsed] is simulated time.  The engine is deliberately {e not}
+    recorded in the report.  (The two engines may differ in a degraded
+    {e hang} cell's [elapsed]: the fork engine's fuel window starts at
+    the checkpoint time, the rerun engine's at zero.) *)
 
 type mechanism = Pin | Tlm | Token | Degrade
 
@@ -65,9 +83,26 @@ type engine =
 val engine_name : engine -> string
 val engine_of_string : string -> (engine, string) result
 
+type chaos =
+  | Chaos_trap  (** master raises at its first windowed op *)
+  | Chaos_hang  (** master spins in simulated time forever *)
+
+val chaos_name : chaos -> string
+(** ["trap"] / ["hang"]. *)
+
+val chaos_of_string : string -> (chaos, string) result
+
 val default_rates : float list
 val default_ops : int
 val quick_ops : int
+
+val default_policy : Codesign_resil.Policy.t
+(** Per-cell restart policy when [?policy] is omitted: 2 restarts, no
+    backoff. *)
+
+val default_cell_fuel : int
+(** Simulated-time window per cell attempt when [?cell_fuel] is
+    omitted (the historic hard run bound, 200M units). *)
 
 val default_warmup : int -> int
 (** Warm-up transfers used when [?warmup] is omitted: [ops / 2]. *)
@@ -81,25 +116,37 @@ val run_cell :
 
 val sweep :
   ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list -> ?jobs:int ->
-  engine -> Codesign_obs.Fault_report.cell list
+  ?policy:Codesign_resil.Policy.t -> ?cell_fuel:int -> ?deadline_ms:int ->
+  ?chaos:chaos -> engine -> Codesign_obs.Fault_report.cell list
 (** The transfer sweep alone (no drills), on the given engine — what
     the fork-vs-rerun microbenchmarks and identity checks exercise.
-    Cell order: for each mechanism in ladder order, the rate-0 baseline
-    then each rate in [rates].
+    Cell order: for each mechanism in ladder order (then the [chaos]
+    task, when present), the rate-0 baseline then each rate in [rates].
 
     [jobs] (default 1) shards the sweep over a
     {!Codesign_par.Domain_pool} with one task per mechanism; each worker
     domain builds, warms up and (on {!Fork}) checkpoints its own private
     world, and results merge back in ladder order.  Every cell is a pure
-    function of [(seed, rate, ops, warmup, mechanism)], so the cell list
-    — and hence the report JSON — is byte-identical at every [jobs]
-    (enforced by [test/test_parallel.ml] and the CI [cmp] step). *)
+    function of [(seed, rate, ops, warmup, mechanism, policy,
+    cell_fuel)] — wall deadlines aside — so the cell list — and hence
+    the report JSON — is byte-identical at every [jobs] (enforced by
+    [test/test_parallel.ml], [test/test_resil.ml] and the CI [cmp]
+    step), degraded cells included.
+
+    [policy] (default {!default_policy}) caps per-cell restarts,
+    [cell_fuel] (default {!default_cell_fuel}) bounds each attempt in
+    simulated time, [deadline_ms] bounds the whole sweep in wall time,
+    [chaos] injects a deliberately failing task (see the header). *)
 
 val run :
   ?seed:int -> ?ops:int -> ?warmup:int -> ?rates:float list ->
-  ?engine:engine -> ?jobs:int -> unit -> Codesign_obs.Fault_report.t
+  ?engine:engine -> ?jobs:int -> ?policy:Codesign_resil.Policy.t ->
+  ?cell_fuel:int -> ?deadline_ms:int -> ?chaos:chaos -> unit ->
+  Codesign_obs.Fault_report.t
 (** The full campaign.  Defaults: [seed = 42], [ops = default_ops],
     [warmup = default_warmup ops], [rates = default_rates],
-    [engine = Fork], [jobs = 1].  [jobs] parallelises the sweep exactly
-    as in {!sweep}; the drills always run serially on the calling
-    domain. *)
+    [engine = Fork], [jobs = 1], [policy = default_policy],
+    [cell_fuel = default_cell_fuel], no deadline, no chaos.  [jobs]
+    parallelises the sweep exactly as in {!sweep}; the drills always
+    run serially on the calling domain (and are not supervised — they
+    are plain in-process measurements). *)

@@ -171,6 +171,23 @@ let write t a v =
   | Some Stuck -> deliver (apply_stuck t v0)
 
 (* ------------------------------------------------------------------ *)
+(* checked transfers under a retry policy                              *)
+(* ------------------------------------------------------------------ *)
+
+module Policy = Codesign_resil.Policy
+
+let error_name = function Corrupt -> "corrupt" | Timeout -> "timeout"
+
+let retry_op ~policy ?rng ?(on_retry = fun ~attempt:_ ~delay:_ -> ()) op =
+  Policy.retry policy ?rng ~wait:K.wait ~on_retry (fun ~attempt:_ -> op ())
+
+let read_retry t ~policy ?rng ?on_retry a =
+  retry_op ~policy ?rng ?on_retry (fun () -> read t a)
+
+let write_retry t ~policy ?rng ?on_retry a v =
+  retry_op ~policy ?rng ?on_retry (fun () -> write t a v)
+
+(* ------------------------------------------------------------------ *)
 (* the faulty medium as a transport                                    *)
 (* ------------------------------------------------------------------ *)
 

@@ -49,6 +49,36 @@ val write : t -> int -> int -> (unit, error) result
 val stuck_active : t -> bool
 (** A stuck-at window is currently open. *)
 
+val error_name : error -> string
+(** ["corrupt"] / ["timeout"]. *)
+
+(** {2 Checked transfers under a retry policy}
+
+    The bounded-retry idiom the checked view exists for, packaged: the
+    transfer is re-attempted per {!Codesign_resil.Policy}, backoff
+    spent as {e simulated} time ({!Codesign_sim.Kernel.wait} — call
+    from inside a process), jitter drawn from the caller's [rng].  On
+    exhaustion the typed error of the last attempt comes back wrapped
+    in {!Codesign_resil.Policy.exhausted} with the attempt count —
+    what the campaign's tlm mechanism records as [retries]/[lost]. *)
+
+val read_retry :
+  t ->
+  policy:Codesign_resil.Policy.t ->
+  ?rng:Codesign_ir.Rng.t ->
+  ?on_retry:(attempt:int -> delay:int -> unit) ->
+  int ->
+  (int, error Codesign_resil.Policy.exhausted) result
+
+val write_retry :
+  t ->
+  policy:Codesign_resil.Policy.t ->
+  ?rng:Codesign_ir.Rng.t ->
+  ?on_retry:(attempt:int -> delay:int -> unit) ->
+  int ->
+  int ->
+  (unit, error Codesign_resil.Policy.exhausted) result
+
 val raw_transport : t -> Codesign_bus.Transport.t
 (** The faulty medium itself as a transport (raw, pin-style view):
     reads and writes pass through the injector, [wait_ready] polls

@@ -2,6 +2,7 @@ module K = Codesign_sim.Kernel
 module Ch = Codesign_sim.Channel
 module Rng = Codesign_ir.Rng
 module Checksum = Codesign_obs.Checksum
+module Policy = Codesign_resil.Policy
 
 type frame = { seq : int; idx : int; v : int; last : bool; tag : int }
 
@@ -11,6 +12,7 @@ type t = {
   data : frame Ch.t;
   ack : (int * int) Ch.t;  (* (seq, ack tag) *)
   retries : int;
+  end_retries : int;
   ack_timeout : int;
   poll : int;
   link_delay : int;
@@ -26,8 +28,8 @@ let tag_of ~seq ~idx ~v ~last =
 
 let ack_tag seq = low24 (Checksum.fnv1a64 (Printf.sprintf "ack:%d" seq))
 
-let create ?(retries = 8) ?(ack_timeout = 40) ?(poll = 4) ?(link_delay = 2) k
-    inj () =
+let create ?(retries = 8) ?(end_retries = 20) ?(ack_timeout = 40) ?(poll = 4)
+    ?(link_delay = 2) k inj () =
   {
     k;
     inj;
@@ -38,6 +40,7 @@ let create ?(retries = 8) ?(ack_timeout = 40) ?(poll = 4) ?(link_delay = 2) k
     data = Ch.create ~depth:64 ~name:"fault.data" k ();
     ack = Ch.create ~depth:64 ~name:"fault.ack" k ();
     retries;
+    end_retries;
     ack_timeout;
     poll;
     link_delay;
@@ -104,38 +107,41 @@ let link_send_ack t seq =
 let send_frame t ~seq ~idx ~v ~last ~budget ~count_detect =
   let tag = tag_of ~seq ~idx ~v ~last in
   let f = { seq; idx; v; last; tag } in
-  let rec attempt n =
-    if n > budget then false
+  let transmit_once ~attempt:_ =
+    link_send_data t f;
+    let deadline = K.now t.k + t.ack_timeout in
+    let rec await () =
+      match Ch.try_recv t.ack with
+      | Some (aseq, atag) ->
+          if atag <> ack_tag aseq then begin
+            (* corrupt ack *)
+            det_event t;
+            await ()
+          end
+          else if aseq = seq then true
+          else await () (* stale ack from an earlier frame *)
+      | None ->
+          if K.now t.k >= deadline then false
+          else begin
+            K.wait t.poll;
+            await ()
+          end
+    in
+    if await () then Ok ()
     else begin
-      if n > 0 then t.retrans <- t.retrans + 1;
-      link_send_data t f;
-      let deadline = K.now t.k + t.ack_timeout in
-      let rec await () =
-        match Ch.try_recv t.ack with
-        | Some (aseq, atag) ->
-            if atag <> ack_tag aseq then begin
-              (* corrupt ack *)
-              det_event t;
-              await ()
-            end
-            else if aseq = seq then true
-            else await () (* stale ack from an earlier frame *)
-        | None ->
-            if K.now t.k >= deadline then false
-            else begin
-              K.wait t.poll;
-              await ()
-            end
-      in
-      if await () then true
-      else begin
-        (* ack timeout: the sender just detected a loss *)
-        if count_detect then det_event t;
-        attempt (n + 1)
-      end
+      (* ack timeout: the sender just detected a loss *)
+      if count_detect then det_event t;
+      Error ()
     end
   in
-  attempt 0
+  (* Stop-and-wait retransmission as a retry policy: the budget caps
+     retransmits (total transmissions = budget + 1), back-to-back — the
+     ack timeout already spent the simulated time, so no extra backoff. *)
+  let policy = Policy.create ~max_retries:budget ~backoff:Policy.No_backoff () in
+  let on_retry ~attempt:_ ~delay:_ = t.retrans <- t.retrans + 1 in
+  match Policy.retry policy ~on_retry transmit_once with
+  | Ok () -> true
+  | Error (_ : unit Policy.exhausted) -> false
 
 let send t ~idx v =
   let seq = t.next_seq in
@@ -148,7 +154,7 @@ let close t =
   (* a larger budget than data frames: losing END leaves the receiver
      blocked (harmless at quiescence) but we try hard to end cleanly *)
   ignore
-    (send_frame t ~seq ~idx:(-1) ~v:0 ~last:true ~budget:20
+    (send_frame t ~seq ~idx:(-1) ~v:0 ~last:true ~budget:t.end_retries
        ~count_detect:false)
 
 let rec recv t =

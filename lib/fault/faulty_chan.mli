@@ -19,6 +19,7 @@ type t
 
 val create :
   ?retries:int ->
+  ?end_retries:int ->
   ?ack_timeout:int ->
   ?poll:int ->
   ?link_delay:int ->
@@ -26,8 +27,12 @@ val create :
   Injector.t ->
   unit ->
   t
-(** Defaults: [retries = 8] retransmissions per frame, [ack_timeout =
-    40], [poll = 4], [link_delay = 2]. *)
+(** Defaults: [retries = 8] retransmissions per data frame,
+    [end_retries = 20] for the end-of-stream frame (losing END leaves
+    the receiver blocked, so {!close} tries harder), [ack_timeout =
+    40], [poll = 4], [link_delay = 2].  Retransmission loops are
+    {!Codesign_resil.Policy} retries with [No_backoff] — the ack
+    timeout is the pacing. *)
 
 val send : t -> idx:int -> int -> bool
 (** Send one [(idx, value)] item reliably; blocks (inside a kernel

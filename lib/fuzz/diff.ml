@@ -340,7 +340,7 @@ let check_ladder rng =
       | Some m ->
           let reason =
             match m.Cosim.outcome with
-            | Cosim.Not_halted r -> r
+            | Cosim.Not_halted r | Cosim.Exhausted r -> r
             | Cosim.Completed -> assert false
           in
           Some
@@ -444,7 +444,7 @@ let check_mixed rng =
         let name = Cosim.assignment_name m.Cosim.assignment in
         (match m.Cosim.outcome with
         | Cosim.Completed -> None
-        | Cosim.Not_halted r ->
+        | Cosim.Not_halted r | Cosim.Exhausted r ->
             Some
               (Printf.sprintf "mixed %s did not complete: %s %s" name r
                  where))

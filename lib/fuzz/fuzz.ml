@@ -1,6 +1,7 @@
 module B = Codesign_ir.Behavior
 module Rng = Codesign_ir.Rng
 module Fuzz_report = Codesign_obs.Fuzz_report
+module Degraded = Codesign_obs.Degraded
 module Clock = Codesign_obs.Clock
 
 let pp_program p = Format.asprintf "%a" B.pp p
@@ -123,17 +124,40 @@ let run_case ?transform_asm ~fault case_seed =
   | _ -> behavior_case ?transform_asm ~case_seed rng
 
 let run ?(seed = 42) ?(count = 200) ?(fault = false) ?(jobs = 1)
-    ?transform_asm () =
+    ?(policy = Codesign_resil.Policy.no_retry) ?deadline_ms ?transform_asm () =
   let t0 = Clock.now_ns () in
+  let budget = Codesign_resil.Budget.create ?deadline_ms () in
   let cases = Array.init count (fun i -> seed + i) in
-  let results =
-    Codesign_par.Domain_pool.map ~jobs
+  (* Degradation instead of abort: a case whose harness raises is
+     retried in place per [policy]; still failing (or queued past the
+     wall deadline) it becomes a [degraded] report entry keyed by its
+     case seed, and the campaign completes.  [Budget.past_deadline] is
+     a pure monotonic-clock read, safe from any worker domain. *)
+  let attempt case_seed =
+    if Codesign_resil.Budget.past_deadline budget then
+      Error (case_seed, { Degraded.error = "deadline exceeded"; attempts = 0; elapsed = 0 })
+    else Ok (run_case ?transform_asm ~fault case_seed)
+  in
+  let outcomes =
+    Codesign_par.Domain_pool.map_result ~jobs
       ~name:(fun i -> Printf.sprintf "fuzz case seed %d" cases.(i))
-      (run_case ?transform_asm ~fault)
-      cases
+      ~retries:policy.Codesign_resil.Policy.max_retries attempt cases
+  in
+  let results =
+    Array.to_list outcomes
+    |> List.filter_map (function Ok (Ok r) -> Some r | _ -> None)
+  in
+  let degraded =
+    Array.to_list outcomes
+    |> List.filter_map (function
+         | Ok (Ok _) -> None
+         | Ok (Error cut_off) -> Some cut_off
+         | Error { Codesign_par.Domain_pool.index; message; attempts; _ } ->
+             Some
+               (cases.(index), { Degraded.error = message; attempts; elapsed = 0 }))
   in
   let count_cat c =
-    Array.fold_left
+    List.fold_left
       (fun acc r -> if r.cr_category = c then acc + 1 else acc)
       0 results
   in
@@ -145,8 +169,8 @@ let run ?(seed = 42) ?(count = 200) ?(fault = false) ?(jobs = 1)
     ladder_cases = count_cat Ladder;
     taskgraph_cases = count_cat Taskgraph;
     fault_cases = count_cat Fault_cat;
-    rtl_blocks =
-      Array.fold_left (fun acc r -> acc + r.cr_rtl_blocks) 0 results;
+    rtl_blocks = List.fold_left (fun acc r -> acc + r.cr_rtl_blocks) 0 results;
     wall_s = Clock.elapsed_s ~since:t0;
-    failures = List.concat_map (fun r -> r.cr_failures) (Array.to_list results);
+    failures = List.concat_map (fun r -> r.cr_failures) results;
+    degraded;
   }

@@ -1,0 +1,25 @@
+type t = { error : string; attempts : int; elapsed : int }
+
+let to_json d =
+  Json.Obj
+    [
+      ("error", Json.Str d.error);
+      ("attempts", Json.Int d.attempts);
+      ("elapsed", Json.Int d.elapsed);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | None -> Error (Printf.sprintf "missing field %S" name)
+  | Some v -> (
+      match conv v with
+      | Some x -> Ok x
+      | None -> Error (Printf.sprintf "field %S has the wrong type" name))
+
+let of_json j =
+  let* error = field "error" Json.to_str j in
+  let* attempts = field "attempts" Json.to_int j in
+  let* elapsed = field "elapsed" Json.to_int j in
+  Ok { error; attempts; elapsed }

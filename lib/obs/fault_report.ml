@@ -15,6 +15,7 @@ type cell = {
   recovery_rate : float;
   mean_detect_latency : float;
   checksum_ok : bool;
+  degraded : Degraded.t option;
 }
 
 type drill = {
@@ -35,7 +36,8 @@ type t = {
   drills : drill list;
 }
 
-let schema_version = 2
+let schema_version = 3
+let min_schema_version = 2
 
 (* ------------------------------------------------------------------ *)
 
@@ -62,7 +64,11 @@ let cell_to_json (c : cell) =
         ("recovery_rate", Json.Float c.recovery_rate);
         ("mean_detect_latency", Json.Float c.mean_detect_latency);
         ("checksum_ok", Json.Bool c.checksum_ok);
-      ])
+      ]
+    @
+    match c.degraded with
+    | Some d -> [ ("degraded", Degraded.to_json d) ]
+    | None -> [])
 
 let drill_to_json (d : drill) =
   Json.Obj
@@ -133,6 +139,14 @@ let cell_of_json j =
   let* recovery_rate = field "recovery_rate" Json.to_float j in
   let* mean_detect_latency = field "mean_detect_latency" Json.to_float j in
   let* checksum_ok = field "checksum_ok" Json.to_bool j in
+  let* degraded =
+    match Json.member "degraded" j with
+    | None -> Ok None
+    | Some v -> (
+        match Degraded.of_json v with
+        | Ok d -> Ok (Some d)
+        | Error e -> Error (Printf.sprintf "field \"degraded\": %s" e))
+  in
   Ok
     {
       mechanism;
@@ -151,6 +165,7 @@ let cell_of_json j =
       recovery_rate;
       mean_detect_latency;
       checksum_ok;
+      degraded;
     }
 
 let drill_of_json j =
@@ -163,7 +178,7 @@ let drill_of_json j =
 
 let of_json j =
   let* version = field "schema_version" Json.to_int j in
-  if version <> schema_version then
+  if version < min_schema_version || version > schema_version then
     Error (Printf.sprintf "unsupported schema_version %d" version)
   else
     let* seed = field "seed" Json.to_int j in

@@ -40,6 +40,10 @@ type cell = {
       (** mean cycles from injection to detection; undetected faults are
           charged the end-of-run audit time *)
   checksum_ok : bool;  (** FNV-1a over the sink matches the expected *)
+  degraded : Degraded.t option;
+      (** schema v3: present iff the cell's supervised run exhausted
+          its retry/budget policy and was declared dead — counters
+          above are then zeroed placeholders, not measurements *)
 }
 
 type drill = {
@@ -63,8 +67,14 @@ type t = {
 }
 
 val schema_version : int
-(** 2.  v2 added [warmup_per_cell] when the campaign moved to a
-    warm-up + injection-window structure (fork-from-checkpoint). *)
+(** 3.  v2 added [warmup_per_cell] when the campaign moved to a
+    warm-up + injection-window structure (fork-from-checkpoint); v3
+    added the optional per-cell [degraded] record (supervised
+    campaigns that complete despite dead cells).  The reader accepts
+    v2 files ([degraded] absent = [None] everywhere). *)
+
+val min_schema_version : int
+(** 2 — oldest version {!of_json} accepts. *)
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

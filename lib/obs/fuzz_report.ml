@@ -17,9 +17,11 @@ type t = {
   rtl_blocks : int;
   wall_s : float;
   failures : failure list;
+  degraded : (int * Degraded.t) list;
 }
 
-let schema_version = 1
+let schema_version = 2
+let min_schema_version = 1
 
 (* ------------------------------------------------------------------ *)
 
@@ -51,6 +53,15 @@ let to_json (r : t) =
       ("rtl_blocks", Json.Int r.rtl_blocks);
       ("wall_s", Json.Float r.wall_s);
       ("failures", Json.List (List.map failure_to_json r.failures));
+      ( "degraded",
+        Json.List
+          (List.map
+             (fun (case_seed, d) ->
+               match Degraded.to_json d with
+               | Json.Obj fields ->
+                   Json.Obj (("case_seed", Json.Int case_seed) :: fields)
+               | j -> j)
+             r.degraded) );
     ]
 
 (* ------------------------------------------------------------------ *)
@@ -91,9 +102,18 @@ let all_of conv items =
       Ok (head :: tail))
     items (Ok [])
 
+let degraded_of_json j =
+  let* case_seed = field "case_seed" Json.to_int j in
+  let* d =
+    match Degraded.of_json j with
+    | Ok d -> Ok d
+    | Error e -> Error (Printf.sprintf "field \"degraded\": %s" e)
+  in
+  Ok (case_seed, d)
+
 let of_json j =
   let* version = field "schema_version" Json.to_int j in
-  if version <> schema_version then
+  if version < min_schema_version || version > schema_version then
     Error (Printf.sprintf "unsupported schema_version %d" version)
   else
     let* seed = field "seed" Json.to_int j in
@@ -107,6 +127,15 @@ let of_json j =
     let* wall_s = field "wall_s" Json.to_float j in
     let* fs = field "failures" Json.to_list j in
     let* failures = all_of failure_of_json fs in
+    let* degraded =
+      (* absent in v1 files *)
+      match Json.member "degraded" j with
+      | None -> Ok []
+      | Some v -> (
+          match Json.to_list v with
+          | None -> Error "field \"degraded\" has the wrong type"
+          | Some items -> all_of degraded_of_json items)
+    in
     Ok
       {
         schema_version = version;
@@ -119,6 +148,7 @@ let of_json j =
         rtl_blocks;
         wall_s;
         failures;
+        degraded;
       }
 
 (* ------------------------------------------------------------------ *)

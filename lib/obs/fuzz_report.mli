@@ -31,10 +31,21 @@ type t = {
   rtl_blocks : int;  (** FSMD blocks differentially executed *)
   wall_s : float;
   failures : failure list;
+  degraded : (int * Degraded.t) list;
+      (** schema v2: cases whose harness died after its retry policy or
+          was cut off by the wall deadline, keyed by case seed — the
+          category counters above count only completed cases.
+          [Degraded.elapsed] is 0 (no simulated clock spans a fuzz
+          case). *)
 }
 
 val schema_version : int
-(** 1. *)
+(** 2.  v2 added [degraded] (supervised runs that complete despite
+    dead or deadline-cut cases).  The reader accepts v1 files
+    ([degraded] absent = []). *)
+
+val min_schema_version : int
+(** 1 — oldest version {!of_json} accepts. *)
 
 val to_json : t -> Json.t
 

@@ -1,56 +1,55 @@
 module K = Codesign_sim.Kernel
 
-exception
-  Worker_error of { index : int; task : string; message : string }
+type failure = { index : int; task : string; message : string; attempts : int }
+
+exception Worker_error of failure list
 
 let () =
   Printexc.register_printer (function
-    | Worker_error { index; task; message } ->
+    | Worker_error failures ->
+        let one { index; task; message; attempts } =
+          Printf.sprintf "task %d%s: %s%s" index
+            (if task = "" then "" else Printf.sprintf " %S" task)
+            message
+            (if attempts > 1 then Printf.sprintf " (after %d attempts)" attempts
+             else "")
+        in
         Some
-          (Printf.sprintf "Domain_pool.Worker_error(task %d%s: %s)" index
-             (if task = "" then "" else Printf.sprintf " %S" task)
-             message)
+          (Printf.sprintf "Domain_pool.Worker_error(%s)"
+             (String.concat "; " (List.map one failures)))
     | _ -> None)
 
 let default_jobs () = max 1 (Domain.recommended_domain_count ())
 
-(* Scan for the lowest-index failure; raise it or extract the results.
-   Shared by the serial and pooled paths so [jobs] cannot change what a
-   caller observes. *)
-let finish ~name results errors =
-  Array.iteri
-    (fun i err ->
-      match err with
-      | Some message -> raise (Worker_error { index = i; task = name i; message })
-      | None -> ())
-    errors;
-  Array.map (function Some r -> r | None -> assert false) results
+(* Run one task, retrying in place on the claiming worker.  Retrying on
+   the same worker (rather than re-queueing) keeps the result array's
+   write pattern — and hence the observable outcome — independent of
+   worker scheduling. *)
+let attempt_task ~retries f x =
+  let rec go attempt =
+    match f x with
+    | r -> Ok r
+    | exception e ->
+        if attempt >= retries then Error (Printexc.to_string e, attempt + 1)
+        else go (attempt + 1)
+  in
+  go 0
 
-let map ?jobs ?(name = fun _ -> "") f tasks =
+let run_pool ?jobs ~retries f tasks =
   let n = Array.length tasks in
   let jobs =
     min (max 1 (match jobs with Some j -> j | None -> default_jobs ())) (max 1 n)
   in
   let results = Array.make n None in
-  let errors = Array.make n None in
-  if jobs <= 1 then begin
-    Array.iteri
-      (fun i x ->
-        match f x with
-        | r -> results.(i) <- Some r
-        | exception e -> errors.(i) <- Some (Printexc.to_string e))
-      tasks;
-    finish ~name results errors
-  end
+  if jobs <= 1 then
+    Array.iteri (fun i x -> results.(i) <- Some (attempt_task ~retries f x)) tasks
   else begin
     let next = Atomic.make 0 in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f tasks.(i) with
-          | r -> results.(i) <- Some r
-          | exception e -> errors.(i) <- Some (Printexc.to_string e));
+          results.(i) <- Some (attempt_task ~retries f tasks.(i));
           loop ()
         end
       in
@@ -66,6 +65,30 @@ let map ?jobs ?(name = fun _ -> "") f tasks =
     in
     let helpers = List.init (jobs - 1) (fun _ -> Domain.spawn helper) in
     worker ();
-    List.iter (fun d -> K.merge_domain_totals (Domain.join d)) helpers;
-    finish ~name results errors
-  end
+    List.iter (fun d -> K.merge_domain_totals (Domain.join d)) helpers
+  end;
+  Array.map (function Some r -> r | None -> assert false) results
+
+let map_result ?jobs ?(name = fun _ -> "") ?(retries = 0) f tasks =
+  let outcomes = run_pool ?jobs ~retries f tasks in
+  Array.mapi
+    (fun i outcome ->
+      match outcome with
+      | Ok r -> Ok r
+      | Error (message, attempts) ->
+          Error { index = i; task = name i; message; attempts })
+    outcomes
+
+let map ?jobs ?(name = fun _ -> "") f tasks =
+  let outcomes = run_pool ?jobs ~retries:0 f tasks in
+  let failures =
+    Array.to_list outcomes
+    |> List.mapi (fun i outcome ->
+           match outcome with
+           | Ok _ -> None
+           | Error (message, attempts) ->
+               Some { index = i; task = name i; message; attempts })
+    |> List.filter_map Fun.id
+  in
+  if failures <> [] then raise (Worker_error failures);
+  Array.map (function Ok r -> r | Error _ -> assert false) outcomes

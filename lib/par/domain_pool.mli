@@ -28,19 +28,24 @@
     - {b Worker exceptions surface, they never hang the pool.}  An
       exception inside [f] is caught on the worker, the remaining tasks
       still run, every domain is joined, counters are merged — and then
-      the lowest-index failure is re-raised as {!Worker_error} naming
-      the task.  The serial path wraps exceptions identically, so error
-      behaviour does not depend on [jobs] either. *)
+      {e every} failure is re-raised as one {!Worker_error} carrying
+      the index-ordered failure list.  The serial path wraps exceptions
+      identically, so error behaviour does not depend on [jobs] either.
+      {!map_result} is the non-raising variant: per-task [result]s with
+      optional in-place retries, the building block for graceful
+      degradation ({!Codesign_fault.Campaign}, {!Codesign_fuzz}). *)
 
-exception
-  Worker_error of {
-    index : int;  (** index of the failing task in the input array *)
-    task : string;  (** caller-supplied label ([""] when unnamed) *)
-    message : string;  (** [Printexc.to_string] of the original exception *)
-  }
+type failure = {
+  index : int;  (** index of the failing task in the input array *)
+  task : string;  (** caller-supplied label ([""] when unnamed) *)
+  message : string;  (** [Printexc.to_string] of the last exception *)
+  attempts : int;  (** attempts made, >= 1 (1 unless [retries] > 0) *)
+}
+
+exception Worker_error of failure list
 (** Raised by {!map} (on the calling domain, after all workers have been
-    joined) when a task raised.  If several tasks failed, the one with
-    the smallest index is reported. *)
+    joined) when tasks raised: the complete failure list in ascending
+    index order — never empty, never a partial view. *)
 
 val default_jobs : unit -> int
 (** [max 1 (Domain.recommended_domain_count ())]: what callers should
@@ -54,3 +59,18 @@ val map : ?jobs:int -> ?name:(int -> string) -> ('a -> 'b) -> 'a array -> 'b arr
     {!default_jobs} and is clamped to at least 1; [jobs <= 1] runs
     entirely on the calling domain with no spawns.  [name] labels tasks
     for {!Worker_error} messages. *)
+
+val map_result :
+  ?jobs:int ->
+  ?name:(int -> string) ->
+  ?retries:int ->
+  ('a -> 'b) ->
+  'a array ->
+  ('b, failure) result array
+(** Like {!map} but failures come back as data instead of an exception:
+    task [i]'s slot is [Error failure] after [f tasks.(i)] raised on
+    every attempt.  [retries] (default 0) re-runs a raising task up to
+    that many extra times {e on the worker that claimed it} — in-place
+    retry keeps the outcome independent of worker scheduling, so the
+    jobs-invariance contract above extends to retried and failed tasks
+    ([failure.attempts] included). *)

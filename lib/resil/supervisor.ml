@@ -1,0 +1,24 @@
+type 'a outcome =
+  | Completed of { value : 'a; attempts : int }
+  | Gave_up of { attempts : int; errors : string list }
+
+let run ?(policy = Policy.default) ?rng ?wait ~restore body =
+  let errors = ref [] in
+  let attempt_once ~attempt =
+    let result =
+      match body ~attempt with
+      | Ok _ as ok -> ok
+      | Error e -> Error e
+      | exception exn -> Error (Printexc.to_string exn)
+    in
+    (match result with
+    | Ok _ -> ()
+    | Error e ->
+        errors := e :: !errors;
+        restore ());
+    result
+  in
+  match Policy.retry policy ?rng ?wait attempt_once with
+  | Ok value -> Completed { value; attempts = List.length !errors + 1 }
+  | Error { Policy.attempts; _ } ->
+      Gave_up { attempts; errors = List.rev !errors }

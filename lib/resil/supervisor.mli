@@ -1,0 +1,38 @@
+(** Restart-from-snapshot supervision.
+
+    A supervisor runs a body against a checkpointed world (a kernel
+    snapshot plus whatever model state rides along — see the fork
+    discipline in {!Codesign_sim.Kernel}).  When the body fails — by
+    returning [Error], or by raising, which is how a trapped CPU or a
+    {!Codesign_sim.Kernel.Deadlock} surfaces — the supervisor calls
+    [restore] to rewind the world to its checkpoint and retries under a
+    {!Policy}.  The policy's [max_retries] is the restart-intensity
+    cap: once total attempts exceed it the supervisor gives up and
+    reports every error it saw, newest last, leaving the world restored
+    to the checkpoint (so the caller can still reuse it for the next
+    cell).
+
+    Each attempt receives its 0-based index so the body can
+    re-deterministize per attempt (e.g. [Injector.reinit] before
+    re-spawning processes), keeping retried runs byte-identical to
+    first runs. *)
+
+type 'a outcome =
+  | Completed of { value : 'a; attempts : int }  (** attempts >= 1 *)
+  | Gave_up of { attempts : int; errors : string list }
+      (** every attempt's error, in attempt order *)
+
+val run :
+  ?policy:Policy.t ->
+  ?rng:Codesign_ir.Rng.t ->
+  ?wait:(int -> unit) ->
+  restore:(unit -> unit) ->
+  (attempt:int -> ('a, string) result) ->
+  'a outcome
+(** [run ~restore body] runs [body ~attempt:0]; on failure restores and
+    retries per [policy] (default {!Policy.default}).  Exceptions from
+    [body] are caught and recorded as [Printexc.to_string]; [restore]
+    runs after {e every} failed attempt, including the last, so a
+    [Gave_up] world is back at its checkpoint.  [wait] receives the
+    policy backoff delay before each retry (default: none — supervision
+    is a harness-level loop, not simulated time). *)

@@ -167,7 +167,7 @@ let blocked_non_daemon k =
     (fun _ (n, daemon) acc -> if daemon then acc else n :: acc)
     k.blocked []
 
-let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
+let run ?until ?stop ?(expect_quiescent = false) ?(check_deadlock = false) k =
   let events0 = k.events
   and activations0 = k.activations
   and scheduled0 = Event_queue.pushed_total k.q in
@@ -176,15 +176,36 @@ let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
      single heap operation per event. *)
   let limit = match until with Some u -> u | None -> max_int in
   let slot = Event_queue.slot () in
-  while Event_queue.pop_into k.q ~limit slot do
-    k.now <- slot.Event_queue.s_time;
-    k.events <- k.events + 1;
-    slot.Event_queue.s_thunk ()
-  done;
+  let stopped =
+    match stop with
+    | None ->
+        (* Hot path: no per-event predicate call. *)
+        while Event_queue.pop_into k.q ~limit slot do
+          k.now <- slot.Event_queue.s_time;
+          k.events <- k.events + 1;
+          slot.Event_queue.s_thunk ()
+        done;
+        false
+    | Some stop ->
+        let halted = ref false in
+        while (not !halted) && not (stop ()) do
+          if Event_queue.pop_into k.q ~limit slot then begin
+            k.now <- slot.Event_queue.s_time;
+            k.events <- k.events + 1;
+            slot.Event_queue.s_thunk ()
+          end
+          else halted := true
+        done;
+        not !halted
+  in
   (* With a bound, simulated time always advances to the bound — even
      when future events remain queued past it — so that repeated bounded
-     runs keep a consistent clock for subsequent [at]/[wait] calls. *)
-  (match until with Some u when u > k.now -> k.now <- u | _ -> ());
+     runs keep a consistent clock for subsequent [at]/[wait] calls.  A
+     [stop]ped run is an interruption, not a completed window: the clock
+     stays wherever dispatch was cut off so a restore/resume sees a
+     consistent timeline. *)
+  (if not stopped then
+     match until with Some u when u > k.now -> k.now <- u | _ -> ());
   let totals = Domain.DLS.get totals_key in
   totals.c_events <- totals.c_events + (k.events - events0);
   totals.c_activations <- totals.c_activations + (k.activations - activations0);
@@ -192,7 +213,8 @@ let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
     totals.c_scheduled + (Event_queue.pushed_total k.q - scheduled0);
   let stuck = blocked_non_daemon k in
   if
-    Event_queue.is_empty k.q
+    (not stopped)
+    && Event_queue.is_empty k.q
     && stuck <> []
     && (not expect_quiescent)
     && (until = None || check_deadlock)
@@ -201,6 +223,8 @@ let run ?until ?(expect_quiescent = false) ?(check_deadlock = false) k =
     raise (Deadlock names)
   end;
   stats k
+
+let has_pending_events k = not (Event_queue.is_empty k.q)
 
 type snap = {
   s_q : Event_queue.snap;

@@ -53,12 +53,26 @@ val at : t -> time:int -> (unit -> unit) -> unit
     absolute time >= now. *)
 
 val run :
-  ?until:int -> ?expect_quiescent:bool -> ?check_deadlock:bool -> t -> stats
+  ?until:int ->
+  ?stop:(unit -> bool) ->
+  ?expect_quiescent:bool ->
+  ?check_deadlock:bool ->
+  t ->
+  stats
 (** Dispatch events until the queue is empty or simulated time would
     exceed [until].  When [until] is given, simulated time always ends
     at [max now until] — even if undispatched events remain queued past
     the bound — so repeated bounded runs keep a consistent clock for
-    subsequent {!at}/{!wait} calls.  If non-daemon processes remain
+    subsequent {!at}/{!wait} calls.
+
+    [stop] is polled before each dispatch; when it returns [true] the
+    run returns immediately with events still queued, the clock left at
+    the last dispatched event (no coasting to [until]) and no deadlock
+    check — an interrupted run is not a completed window.  Use
+    {!has_pending_events} to distinguish "stopped early" from "drained".
+    The predicate costs one call per event, paid only when supplied —
+    the [stop]-less dispatch loop is unchanged.
+    {!Codesign_resil.Budget} uses this to impose wall-clock deadlines.  If non-daemon processes remain
     blocked at quiescence and [expect_quiescent] is [false] (the
     default) and no [until] was given, raises {!Deadlock}; with
     [expect_quiescent:true] (or an [until] bound) blocked processes are
@@ -70,6 +84,11 @@ val run :
     bounded runs ({!blocked_non_daemon} is the non-raising query).
     Returns run statistics.  [run] may be called again after adding
     more work. *)
+
+val has_pending_events : t -> bool
+(** [true] iff undispatched events remain queued — after a bounded or
+    [stop]ped {!run}, the sign that the simulation was cut off rather
+    than drained. *)
 
 val blocked_non_daemon : t -> string list
 (** Names of the non-daemon processes currently blocked in {!suspend}

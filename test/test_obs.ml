@@ -237,6 +237,15 @@ let sample_fuzz_report () =
           f_shrunk_stmts = None;
         };
       ];
+    degraded =
+      [
+        ( 97,
+          {
+            Obs.Degraded.error = "Failure(\"boom\")";
+            attempts = 3;
+            elapsed = 0;
+          } );
+      ];
   }
 
 let test_fuzz_report_roundtrip () =
@@ -256,6 +265,29 @@ let test_fuzz_report_file_roundtrip () =
       | Ok r ->
           if r <> sample_fuzz_report () then
             fail "file round trip changed the value")
+
+(* A pre-degradation (schema 1) artifact — no "degraded" member — still
+   parses, with an empty degraded list. *)
+let test_fuzz_report_reads_v1 () =
+  let j =
+    match Obs.Fuzz_report.to_json (sample_fuzz_report ()) with
+    | Json.Obj fields ->
+        Json.Obj
+          (List.filter_map
+             (fun (k, v) ->
+               if k = "degraded" then None
+               else if k = "schema_version" then Some (k, Json.Int 1)
+               else Some (k, v))
+             fields)
+    | _ -> fail "fuzz report did not serialise to an object"
+  in
+  match Obs.Fuzz_report.of_json j with
+  | Ok r ->
+      check Alcotest.int "old version preserved" 1
+        r.Obs.Fuzz_report.schema_version;
+      check Alcotest.bool "no degraded entries" true
+        (r.Obs.Fuzz_report.degraded = [])
+  | Error e -> fail ("schema 1 fuzz report rejected: " ^ e)
 
 let test_fuzz_report_rejects_bad () =
   let reject j name =
@@ -310,6 +342,7 @@ let sample_fault_report () =
           recovery_rate = 0.5263157894;
           mean_detect_latency = 25.33;
           checksum_ok = false;
+          degraded = None;
         };
         {
           Obs.Fault_report.mechanism = "degrade";
@@ -328,6 +361,13 @@ let sample_fault_report () =
           recovery_rate = 0.9;
           mean_detect_latency = 366.29;
           checksum_ok = false;
+          degraded =
+            Some
+              {
+                Obs.Degraded.error = "chaos: injected trap at op 120";
+                attempts = 3;
+                elapsed = 987654;
+              };
         };
       ];
     drills =
@@ -371,6 +411,31 @@ let test_fault_report_file_roundtrip () =
             <> Json.to_string
                  (Obs.Fault_report.to_json (sample_fault_report ()))
           then fail "file round trip changed the value")
+
+(* A pre-degradation (schema 2) artifact still parses: cells without a
+   "degraded" member read back as non-degraded. *)
+let test_fault_report_reads_v2 () =
+  let r = sample_fault_report () in
+  let r =
+    {
+      r with
+      Obs.Fault_report.schema_version = 2;
+      cells =
+        List.map
+          (fun c -> { c with Obs.Fault_report.degraded = None })
+          r.Obs.Fault_report.cells;
+    }
+  in
+  match Obs.Fault_report.of_json (Obs.Fault_report.to_json r) with
+  | Ok r' ->
+      check Alcotest.int "old version preserved" 2
+        r'.Obs.Fault_report.schema_version;
+      check Alcotest.bool "cells read back non-degraded" true
+        (List.for_all
+           (fun (c : Obs.Fault_report.cell) ->
+             c.Obs.Fault_report.degraded = None)
+           r'.Obs.Fault_report.cells)
+  | Error e -> fail ("schema 2 fault report rejected: " ^ e)
 
 let test_fault_report_rejects_bad () =
   let reject j name =
@@ -450,6 +515,8 @@ let () =
             test_fuzz_report_file_roundtrip;
           Alcotest.test_case "rejects invalid" `Quick
             test_fuzz_report_rejects_bad;
+          Alcotest.test_case "reads schema 1 artifacts" `Quick
+            test_fuzz_report_reads_v1;
         ] );
       ( "fault_report",
         [
@@ -458,5 +525,7 @@ let () =
             test_fault_report_file_roundtrip;
           Alcotest.test_case "rejects invalid" `Quick
             test_fault_report_rejects_bad;
+          Alcotest.test_case "reads schema 2 artifacts" `Quick
+            test_fault_report_reads_v2;
         ] );
     ]

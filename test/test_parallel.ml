@@ -56,8 +56,8 @@ let test_pool_order_preserved () =
     [ 1; 2; 4; 7 ]
 
 (* An exception inside a worker must not hang the pool: every domain is
-   joined and the lowest-index failure comes back as Worker_error naming
-   the task. *)
+   joined and ALL failures come back as one Worker_error, in index
+   order, each naming its task. *)
 let test_pool_worker_error_surfaces () =
   match
     Pool.map ~jobs:4
@@ -66,11 +66,20 @@ let test_pool_worker_error_surfaces () =
       (Array.init 100 (fun i -> i))
   with
   | _ -> Alcotest.fail "expected Worker_error"
-  | exception Pool.Worker_error { index; task; message } ->
-      check Alcotest.int "lowest failing index reported" 37 index;
-      check Alcotest.string "task label" "task-37" task;
-      check Alcotest.bool "message carries the original exception" true
-        (contains ~needle:"boom" message)
+  | exception Pool.Worker_error failures ->
+      check Alcotest.int "both failures collected" 2 (List.length failures);
+      check Alcotest.(list int) "failing indices in order" [ 37; 61 ]
+        (List.map (fun (f : Pool.failure) -> f.Pool.index) failures);
+      check
+        Alcotest.(list string)
+        "task labels" [ "task-37"; "task-61" ]
+        (List.map (fun (f : Pool.failure) -> f.Pool.task) failures);
+      List.iter
+        (fun (f : Pool.failure) ->
+          check Alcotest.bool "message carries the original exception" true
+            (contains ~needle:"boom" f.Pool.message);
+          check Alcotest.int "no retries by default" 1 f.Pool.attempts)
+        failures
 
 (* Same surfacing contract on the serial path, so error behaviour does
    not depend on the job count. *)
@@ -81,11 +90,45 @@ let test_pool_worker_error_serial () =
       [| 0; 1; 2; 3 |]
   with
   | _ -> Alcotest.fail "expected Worker_error"
-  | exception Pool.Worker_error { index; task; message } ->
+  | exception Pool.Worker_error [ { Pool.index; task; message; attempts } ] ->
       check Alcotest.int "failing index" 2 index;
       check Alcotest.string "unnamed task" "" task;
       check Alcotest.bool "message names the exception" true
-        (contains ~needle:"Exit" message)
+        (contains ~needle:"Exit" message);
+      check Alcotest.int "single attempt" 1 attempts
+  | exception Pool.Worker_error _ ->
+      Alcotest.fail "expected exactly one failure"
+
+(* map_result keeps every outcome: successes in place, failures as
+   structured records, with in-place retries counted. *)
+let test_pool_map_result_retries () =
+  let tries = Array.make 4 0 in
+  let f i =
+    tries.(i) <- tries.(i) + 1;
+    if i = 1 && tries.(i) <= 2 then failwith "flaky"
+    else if i = 3 then failwith "always"
+    else i * 10
+  in
+  let out =
+    Pool.map_result ~jobs:1 ~retries:2
+      ~name:(fun i -> Printf.sprintf "t%d" i)
+      f
+      (Array.init 4 (fun i -> i))
+  in
+  (match out.(0) with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "task 0 should succeed");
+  (match out.(1) with
+  | Ok 10 -> check Alcotest.int "task 1 succeeded on 3rd attempt" 3 tries.(1)
+  | _ -> Alcotest.fail "task 1 should succeed after retries");
+  (match out.(3) with
+  | Error { Pool.index; task; message; attempts } ->
+      check Alcotest.int "failure index" 3 index;
+      check Alcotest.string "failure task" "t3" task;
+      check Alcotest.bool "failure message" true
+        (contains ~needle:"always" message);
+      check Alcotest.int "all attempts used" 3 attempts
+  | Ok _ -> Alcotest.fail "task 3 should fail")
 
 (* ------------------------------------------------------------------ *)
 (* per-domain kernel-counter merge                                     *)
@@ -240,6 +283,8 @@ let () =
             test_pool_worker_error_surfaces;
           Alcotest.test_case "serial path wraps errors identically" `Quick
             test_pool_worker_error_serial;
+          Alcotest.test_case "map_result retries in place, keeps failures"
+            `Quick test_pool_map_result_retries;
         ] );
       ( "kernel-counters",
         [

@@ -1,0 +1,350 @@
+(* lib/resil: retry policies, execution budgets, restart supervision,
+   and the graceful-degradation path through the fault campaign and the
+   fuzz driver.  The central claims under test: backoff schedules are
+   pure functions of the seed; a budget-exhausted run leaves its world
+   intact and restorable; a supervisor gives up at its restart-intensity
+   cap with the world back at the checkpoint; and a campaign with a
+   sabotaged (chaos) task completes with that task degraded while every
+   other cell — and the whole report at any job count — stays
+   byte-identical. *)
+
+module Policy = Codesign_resil.Policy
+module Budget = Codesign_resil.Budget
+module Supervisor = Codesign_resil.Supervisor
+module K = Codesign_sim.Kernel
+module Cpu = Codesign_isa.Cpu
+module Isa = Codesign_isa.Isa
+module Rng = Codesign_ir.Rng
+module Campaign = Codesign_fault.Campaign
+module FR = Codesign_obs.Fault_report
+module FzR = Codesign_obs.Fuzz_report
+module Json = Codesign_obs.Json
+module Fuzz = Codesign_fuzz.Fuzz
+
+let check = Alcotest.check
+let fail = Alcotest.fail
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec at i = i + nl <= hl && (String.sub hay i nl = needle || at (i + 1)) in
+  at 0
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_schedules () =
+  let p = Policy.create ~max_retries:3 ~backoff:(Policy.Linear 8) () in
+  check
+    Alcotest.(list int)
+    "linear ramp is the historic tlm schedule" [ 8; 16; 24 ]
+    (Policy.schedule p ());
+  let p =
+    Policy.create ~max_retries:4
+      ~backoff:(Policy.Exponential { base = 8; factor = 2; cap = 20 })
+      ()
+  in
+  check
+    Alcotest.(list int)
+    "exponential growth saturates at the cap" [ 8; 16; 20; 20 ]
+    (Policy.schedule p ());
+  check
+    Alcotest.(list int)
+    "no_backoff never waits" [ 0; 0 ]
+    (Policy.schedule (Policy.create ~max_retries:2 ~backoff:Policy.No_backoff ()) ())
+
+let test_policy_jitter_deterministic () =
+  let p =
+    Policy.create ~max_retries:6
+      ~backoff:(Policy.Exponential { base = 8; factor = 2; cap = 512 })
+      ~jitter:7 ()
+  in
+  let sched seed = Policy.schedule p ~rng:(Rng.create seed) () in
+  check
+    Alcotest.(list int)
+    "same seed, same jittered schedule" (sched 42) (sched 42);
+  List.iter2
+    (fun jittered base ->
+      Alcotest.(check bool)
+        "jitter adds at most [jitter] on top of the base delay" true
+        (jittered >= base && jittered <= base + 7))
+    (sched 42)
+    (Policy.schedule { p with Policy.jitter = 0 } ())
+
+let test_policy_retry_waits_and_counts () =
+  let waits = ref [] and retries = ref 0 in
+  let p = Policy.create ~max_retries:3 ~backoff:(Policy.Linear 10) () in
+  let body ~attempt = if attempt < 2 then Error "flaky" else Ok attempt in
+  match
+    Policy.retry p
+      ~wait:(fun d -> waits := d :: !waits)
+      ~on_retry:(fun ~attempt:_ ~delay:_ -> incr retries)
+      body
+  with
+  | Error _ -> fail "expected eventual success"
+  | Ok attempt ->
+      check Alcotest.int "succeeded on the third attempt" 2 attempt;
+      check Alcotest.int "on_retry per retry" 2 !retries;
+      check
+        Alcotest.(list int)
+        "waited the linear delays, in order" [ 10; 20 ] (List.rev !waits)
+
+let test_policy_retry_exhausts () =
+  let p = Policy.create ~max_retries:2 ~backoff:Policy.No_backoff () in
+  match Policy.retry p (fun ~attempt -> Error attempt) with
+  | Ok _ -> fail "expected exhaustion"
+  | Error { Policy.attempts; last_error } ->
+      check Alcotest.int "max_retries + 1 attempts" 3 attempts;
+      check Alcotest.int "last error is the final attempt's" 2 last_error
+
+(* ------------------------------------------------------------------ *)
+(* Budget                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* A fuel-exhausted kernel run charges its window, leaves the kernel
+   intact, and a snapshot restore + rerun reproduces an unbudgeted twin
+   exactly. *)
+let test_budget_kernel_restorable () =
+  let build () =
+    let k = K.create () in
+    let hits = ref 0 in
+    let snap = K.snapshot k in
+    let spawn_work () =
+      K.spawn k (fun () ->
+          for _ = 1 to 100 do
+            K.wait 10;
+            incr hits
+          done)
+    in
+    (k, hits, snap, spawn_work)
+  in
+  (* twin without a budget *)
+  let k', hits', _, spawn' = build () in
+  spawn' ();
+  ignore (K.run ~expect_quiescent:true k');
+  (* budgeted run: exhausts at the fuel bound with events pending *)
+  let k, hits, snap, spawn_work = build () in
+  spawn_work ();
+  (match Budget.run_kernel (Budget.create ~fuel:300 ()) ~expect_quiescent:true k with
+  | Budget.Exhausted Budget.Fuel -> ()
+  | Budget.Exhausted Budget.Deadline -> fail "expected fuel, not deadline"
+  | Budget.Done _ -> fail "expected exhaustion");
+  check Alcotest.int "clock charged the full fuel window" 300 (K.now k);
+  check Alcotest.bool "work remains queued" true (K.has_pending_events k);
+  check Alcotest.int "partial progress is visible" 30 !hits;
+  (* rewind and rerun to completion: matches the unbudgeted twin *)
+  K.restore k snap;
+  hits := 0;
+  spawn_work ();
+  ignore (K.run ~expect_quiescent:true k);
+  check Alcotest.int "restored rerun reaches the twin's clock" (K.now k')
+    (K.now k);
+  check Alcotest.int "restored rerun reaches the twin's state" !hits' !hits
+
+let test_budget_kernel_done_inside_fuel () =
+  let k = K.create () in
+  K.spawn k (fun () -> K.wait 50);
+  match Budget.run_kernel (Budget.create ~fuel:1000 ()) ~expect_quiescent:true k with
+  | Budget.Done _ ->
+      check Alcotest.bool "queue drained" false (K.has_pending_events k)
+  | Budget.Exhausted _ -> fail "fits comfortably in the budget"
+
+let test_budget_cpu () =
+  let spin = [| Isa.J 0 |] in
+  (match Budget.run_cpu (Budget.create ~fuel:10_000 ()) (Cpu.create spin) with
+  | Budget.Exhausted Budget.Fuel -> ()
+  | _ -> fail "an infinite loop must exhaust its fuel");
+  let halts = [| Isa.Li (1, 5); Isa.Halt |] in
+  match Budget.run_cpu (Budget.create ~fuel:10_000 ()) (Cpu.create halts) with
+  | Budget.Done Cpu.Halted -> ()
+  | _ -> fail "a halting program finishes inside the budget"
+
+let test_budget_with_fuel_shares_deadline () =
+  let b = Budget.create ~fuel:10 () in
+  Budget.spend b 10;
+  (match Budget.check b with
+  | Error Budget.Fuel -> ()
+  | _ -> fail "spent budget must report Fuel");
+  let fresh = Budget.with_fuel b ~fuel:5 in
+  match Budget.check fresh with
+  | Ok () -> check Alcotest.bool "fresh allowance" true (Budget.fuel_left fresh = Some 5)
+  | Error _ -> fail "with_fuel must grant a fresh allowance"
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_gives_up_at_cap () =
+  let restores = ref 0 in
+  let policy = Policy.create ~max_retries:2 ~backoff:Policy.No_backoff () in
+  match
+    Supervisor.run ~policy
+      ~restore:(fun () -> incr restores)
+      (fun ~attempt -> failwith (Printf.sprintf "trap %d" attempt))
+  with
+  | Supervisor.Completed _ -> fail "expected Gave_up"
+  | Supervisor.Gave_up { attempts; errors } ->
+      check Alcotest.int "restart-intensity cap honoured" 3 attempts;
+      check Alcotest.int "every error reported" 3 (List.length errors);
+      check Alcotest.bool "errors in attempt order" true
+        (List.map (fun e -> contains ~needle:"trap 0" e) errors
+        = [ true; false; false ]);
+      check Alcotest.int "restored after every failure, world at checkpoint" 3
+        !restores
+
+let test_supervisor_recovers () =
+  let restores = ref 0 in
+  match
+    Supervisor.run
+      ~policy:(Policy.create ~max_retries:3 ~backoff:Policy.No_backoff ())
+      ~restore:(fun () -> incr restores)
+      (fun ~attempt -> if attempt < 2 then Error "not yet" else Ok (attempt * 7))
+  with
+  | Supervisor.Gave_up _ -> fail "expected recovery"
+  | Supervisor.Completed { value; attempts } ->
+      check Alcotest.int "value from the successful attempt" 14 value;
+      check Alcotest.int "attempts counted" 3 attempts;
+      check Alcotest.int "restored only after failures" 2 !restores
+
+(* ------------------------------------------------------------------ *)
+(* degraded campaigns                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let quick_chaos_report ~jobs chaos =
+  Campaign.run ~seed:42 ~ops:Campaign.quick_ops ~jobs ?chaos ()
+
+let is_chaos (c : FR.cell) = contains ~needle:"chaos-" c.FR.mechanism
+
+(* The chaos task traps on every attempt, so its cells come back
+   degraded — and the report is still byte-identical at every job
+   count, degraded cells included. *)
+let test_chaos_campaign_degrades_and_is_jobs_invariant () =
+  let r1 = quick_chaos_report ~jobs:1 (Some Campaign.Chaos_trap) in
+  let chaos_cells = List.filter is_chaos r1.FR.cells in
+  check Alcotest.bool "chaos cells present" true (chaos_cells <> []);
+  List.iter
+    (fun (c : FR.cell) ->
+      match c.FR.degraded with
+      | None -> fail "chaos cell must be degraded"
+      | Some d ->
+          check Alcotest.bool "error names the injected trap" true
+            (contains ~needle:"chaos: injected trap" d.Codesign_obs.Degraded.error);
+          check Alcotest.int "default policy: 2 restarts = 3 attempts" 3
+            d.Codesign_obs.Degraded.attempts)
+    chaos_cells;
+  let bytes r = Json.to_string (FR.to_json r) in
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "report bytes identical at jobs:%d" jobs)
+        (bytes r1)
+        (bytes (quick_chaos_report ~jobs (Some Campaign.Chaos_trap))))
+    [ 2; 4 ]
+
+(* Sabotage is contained: every non-chaos cell is byte-identical to the
+   same campaign run without --chaos. *)
+let test_chaos_leaves_other_cells_untouched () =
+  let with_chaos = quick_chaos_report ~jobs:1 (Some Campaign.Chaos_trap) in
+  let without = quick_chaos_report ~jobs:1 None in
+  let cell_bytes (c : FR.cell) =
+    Json.to_string (FR.to_json { with_chaos with FR.cells = [ c ] })
+  in
+  check
+    Alcotest.(list string)
+    "non-chaos cells unchanged by the chaos task"
+    (List.map cell_bytes without.FR.cells)
+    (List.map cell_bytes
+       (List.filter (fun c -> not (is_chaos c)) with_chaos.FR.cells))
+
+(* A hanging cell exhausts its (deterministic, simulated) fuel window
+   and degrades with a fuel error instead of wedging the sweep. *)
+let test_chaos_hang_exhausts_fuel () =
+  let cells =
+    Campaign.sweep ~seed:42 ~ops:Campaign.quick_ops ~cell_fuel:5_000_000
+      ~chaos:Campaign.Chaos_hang Campaign.Fork
+  in
+  let hung = List.filter is_chaos cells in
+  check Alcotest.bool "hang cells present" true (hung <> []);
+  List.iter
+    (fun (c : FR.cell) ->
+      match c.FR.degraded with
+      | Some d ->
+          check Alcotest.bool "fuel exhaustion reported" true
+            (contains ~needle:"fuel" d.Codesign_obs.Degraded.error)
+      | None -> fail "hang cell must be degraded")
+    hung;
+  List.iter
+    (fun (c : FR.cell) ->
+      check Alcotest.bool "healthy cells complete within the fuel window" true
+        (c.FR.degraded = None))
+    (List.filter (fun c -> not (is_chaos c)) cells)
+
+(* ------------------------------------------------------------------ *)
+(* degraded fuzzing                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* A raising harness degrades its cases instead of aborting the corpus,
+   and the degraded report is identical at any job count (wall time
+   aside). *)
+let test_fuzz_degrades_on_raising_harness () =
+  let boom _ = failwith "injected harness fault" in
+  let run jobs =
+    { (Fuzz.run ~seed:42 ~count:24 ~jobs ~transform_asm:boom ()) with
+      FzR.wall_s = 0.0 }
+  in
+  let r = run 1 in
+  check Alcotest.bool "behaviour cases degraded" true (r.FzR.degraded <> []);
+  List.iter
+    (fun ((_, d) : int * Codesign_obs.Degraded.t) ->
+      check Alcotest.bool "error carries the harness fault" true
+        (contains ~needle:"injected harness fault" d.Codesign_obs.Degraded.error);
+      check Alcotest.int "no_retry: one attempt" 1
+        d.Codesign_obs.Degraded.attempts)
+    r.FzR.degraded;
+  check Alcotest.int "non-behaviour cases still complete"
+    (r.FzR.ladder_cases + r.FzR.taskgraph_cases)
+    (24 - List.length r.FzR.degraded - r.FzR.behavior_cases);
+  if run 3 <> r then fail "degraded fuzz report must be jobs-invariant"
+
+let () =
+  Alcotest.run "codesign_resil"
+    [
+      ( "policy",
+        [
+          Alcotest.test_case "backoff schedules" `Quick test_policy_schedules;
+          Alcotest.test_case "jitter is a pure function of the seed" `Quick
+            test_policy_jitter_deterministic;
+          Alcotest.test_case "retry waits and counts" `Quick
+            test_policy_retry_waits_and_counts;
+          Alcotest.test_case "retry exhausts at the cap" `Quick
+            test_policy_retry_exhausts;
+        ] );
+      ( "budget",
+        [
+          Alcotest.test_case "exhausted kernel run is restorable" `Quick
+            test_budget_kernel_restorable;
+          Alcotest.test_case "drained queue is Done" `Quick
+            test_budget_kernel_done_inside_fuel;
+          Alcotest.test_case "cpu fuel" `Quick test_budget_cpu;
+          Alcotest.test_case "with_fuel refreshes the allowance" `Quick
+            test_budget_with_fuel_shares_deadline;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "gives up at the restart-intensity cap" `Quick
+            test_supervisor_gives_up_at_cap;
+          Alcotest.test_case "recovers after restores" `Quick
+            test_supervisor_recovers;
+        ] );
+      ( "degradation",
+        [
+          Alcotest.test_case "chaos campaign degrades, jobs-invariant" `Quick
+            test_chaos_campaign_degrades_and_is_jobs_invariant;
+          Alcotest.test_case "chaos leaves other cells untouched" `Quick
+            test_chaos_leaves_other_cells_untouched;
+          Alcotest.test_case "hanging cell exhausts fuel" `Quick
+            test_chaos_hang_exhausts_fuel;
+          Alcotest.test_case "fuzz degrades on a raising harness" `Quick
+            test_fuzz_degrades_on_raising_harness;
+        ] );
+    ]
