@@ -378,7 +378,19 @@ let cosim_cmd =
   let items =
     Arg.(value & opt int 16 & info [ "items" ] ~docv:"N" ~doc:"Stream length.")
   in
-  let run level levels items json =
+  let quantum =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "quantum" ] ~docv:"N"
+          ~doc:
+            "Temporal-decoupling quantum: let the software component \
+             run up to $(docv) cycles ahead of the kernel between \
+             synchronisation points (1 = classic per-step coupling; \
+             larger quanta keep the checksum and trade exact \
+             event/activation counts for speed).")
+  in
+  let run level levels items quantum json =
     let assignment =
       match levels with
       | None -> Ok (Cosim.pure level)
@@ -387,8 +399,13 @@ let cosim_cmd =
     match assignment with
     | Error e -> prerr_endline ("cosim: " ^ e); exit 2
     | Ok levels ->
+    if quantum < 1 then begin
+      prerr_endline "cosim: --quantum must be >= 1";
+      exit 2
+    end;
     let m, wall_s =
-      Obs.Clock.time (fun () -> Cosim.run_echo_assignment ~levels ~items ())
+      Obs.Clock.time (fun () ->
+          Cosim.run_echo_assignment ~levels ~items ~quantum ())
     in
     let outcome_str =
       match m.Cosim.outcome with
@@ -411,6 +428,7 @@ let cosim_cmd =
                  Obs.Json.Str (Cosim.assignment_name m.Cosim.assignment));
                 ("outcome", Obs.Json.Str outcome_str);
                 ("items", Obs.Json.Int items);
+                ("quantum", Obs.Json.Int quantum);
                 ("wall_s", Obs.Json.Float wall_s);
                 ("checksum", Obs.Json.Int m.Cosim.checksum);
                 ("sim_cycles", Obs.Json.Int m.Cosim.sim_cycles);
@@ -430,7 +448,7 @@ let cosim_cmd =
        ~doc:
          "Co-simulate the echo system at a given level, or a mixed \
           per-component level assignment.")
-    Term.(started (const run $ level $ levels $ items $ json_arg))
+    Term.(started (const run $ level $ levels $ items $ quantum $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

@@ -130,7 +130,9 @@ let message_sw_stmt_cycles = 8
    message endpoint processes, memory map, transports (a shared one when
    both interfaces sit on the same bus rung), software last. *)
 let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
-    ?(work = 8) ?(src_period = 200) ?(sink_period = 120) () =
+    ?(work = 8) ?(src_period = 200) ?(sink_period = 120) ?(quantum = 1) () =
+  if quantum < 1 then
+    invalid_arg "Cosim.run_echo_assignment: quantum must be >= 1";
   let { src = src_lvl; cpu = cpu_lvl; sink = sink_lvl } = levels in
   let k = K.create () in
   let gen i = ((i * 7) mod 23) - 5 in
@@ -227,11 +229,21 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
     else tr
   in
   let io_src = present tr_src and io_sink = present tr_sink in
+  (* Temporal decoupling (quantum > 1): the software component accrues
+     local cycles and only synchronises with the kernel every [quantum]
+     cycles — except that any port access first flushes the accrued
+     lead, so I/O always happens at the correct simulated time relative
+     to the component's own clock (the loosely-timed "sync before
+     communication" rule).  At quantum = 1 the flush hook stays a no-op
+     and the historic per-statement paths below run unchanged. *)
+  let flush_sw = ref (fun () -> ()) in
   let port_in () =
+    !flush_sw ();
     io_src.T.wait_ready src_base;
     io_src.T.read (src_base + 1)
   in
   let port_out v =
+    !flush_sw ();
     io_sink.T.wait_ready sink_base;
     io_sink.T.write (sink_base + 1) v
   in
@@ -242,6 +254,15 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
     | Message ->
         (* no ISS: the behaviour interprets with statement-approximate
            timing, as communicating-process software *)
+        let pending = ref 0 in
+        let flush () =
+          if !pending > 0 then begin
+            let p = !pending in
+            pending := 0;
+            K.wait p
+          end
+        in
+        if quantum > 1 then flush_sw := flush;
         K.spawn ~name:"sw" k (fun () ->
             let io =
               {
@@ -250,10 +271,14 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
                 port_out = (fun _ v -> port_out v);
               }
             in
-            ignore
-              (B.run ~io
-                 ~tick:(fun () -> K.wait message_sw_stmt_cycles)
-                 (echo_app ~items ~work) []);
+            let tick =
+              if quantum = 1 then fun () -> K.wait message_sw_stmt_cycles
+              else fun () ->
+                pending := !pending + message_sw_stmt_cycles;
+                if !pending >= quantum then flush ()
+            in
+            ignore (B.run ~io ~tick (echo_app ~items ~work) []);
+            flush ();
             sw_done := true;
             cpu_done_at := K.now k);
         None
@@ -268,11 +293,40 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
         let items_code, lay = Codegen.compile (echo_app ~items ~work) in
         let img = Asm.assemble items_code in
         let cpu = Cpu.create ~env img.Asm.code in
+        (* [synced] = cycles already turned into kernel waits; the
+           flush settles the difference against the CPU's own counter,
+           which is exact at every hook call site because the block
+           tier updates [Cpu.cycles] before dispatching any
+           hook-calling instruction through [Cpu.step] *)
+        let synced = ref 0 in
+        let flush () =
+          let d = Cpu.cycles cpu - !synced in
+          if d > 0 then begin
+            synced := !synced + d;
+            K.wait d
+          end
+        in
+        if quantum > 1 then flush_sw := flush;
         K.spawn ~name:"cpu" k (fun () ->
-            while Cpu.status cpu = Cpu.Running do
-              let cy = Cpu.step cpu in
-              if cy > 0 then K.wait cy
-            done;
+            if quantum = 1 then
+              while Cpu.status cpu = Cpu.Running do
+                let cy = Cpu.step cpu in
+                if cy > 0 then K.wait cy
+              done
+            else
+              while Cpu.status cpu = Cpu.Running do
+                (* run up to [quantum] cycles ahead on the block tier,
+                   then settle; port I/O inside the burst flushes via
+                   [flush_sw] before touching the transport *)
+                let target = !synced + quantum in
+                while
+                  Cpu.status cpu = Cpu.Running && Cpu.cycles cpu < target
+                do
+                  ignore
+                    (Cpu.run_blocks cpu ~fuel:(target - Cpu.cycles cpu))
+                done;
+                flush ()
+              done;
             cpu_done_at := K.now k);
         Some (cpu, lay)
   in

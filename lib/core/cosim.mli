@@ -113,6 +113,7 @@ val run_echo_assignment :
   ?work:int ->
   ?src_period:int ->
   ?sink_period:int ->
+  ?quantum:int ->
   unit ->
   metrics
 (** The generic pipeline: one echo system with each component at its
@@ -122,6 +123,18 @@ val run_echo_assignment :
     [events]/[activations] fall as any component moves up the ladder,
     and [bus_ops] is zero exactly when both interfaces are at
     {!Message}.
+
+    [quantum] (default 1) enables temporally decoupled execution of the
+    software component: it runs up to [quantum] cycles ahead of the
+    kernel between synchronisation points, on the block-compiled ISS
+    tier ({!Codesign_isa.Cpu.run_blocks}) or with batched statement
+    ticks at {!Message} level, and any port access first flushes the
+    accrued lead back into kernel time (sync-before-communication, the
+    loosely-timed idiom).  [quantum = 1] is byte-identical to the
+    historic per-step/per-statement coupling; larger quanta preserve
+    [checksum] and [outcome] but trade event/activation counts (and
+    exact interleaving) for speed.
+    @raise Invalid_argument if [quantum < 1].
 
     [budget] bounds the run in simulated fuel and/or wall time
     ({!Codesign_resil.Budget}); when it runs out the metrics come back

@@ -74,6 +74,48 @@ let run_interp ~fuel p =
   | exception e ->
       Error (`Raised (Printf.sprintf "interpreter raised %s" (Printexc.to_string e)))
 
+(* Both execution tiers of the ISS run every case: the reference step
+   loop ([Cpu.run]) is the oracle leg compared against the interpreter,
+   and the block-compiled tier ([Cpu.run_compiled]) must agree with the
+   step tier on the complete observable state — status (including trap
+   messages), cycles, instret, final pc, registers, data memory and the
+   port trace — whatever the outcome. *)
+let tiers_disagree (step_cpu : Cpu.t) (blk_cpu : Cpu.t) step_trace blk_trace =
+  let show_status = function
+    | Cpu.Running -> "running"
+    | Cpu.Halted -> "halted"
+    | Cpu.Trapped m -> "trapped: " ^ m
+  in
+  let field name show a b =
+    if a = b then None
+    else
+      Some
+        (Printf.sprintf "iss-block %s differs: step %s vs block %s" name
+           (show a) (show b))
+  in
+  let ( <|> ) a b = match a with Some _ -> a | None -> b () in
+  field "status" show_status (Cpu.status step_cpu) (Cpu.status blk_cpu)
+  <|> (fun () ->
+  field "port trace" show_trace step_trace blk_trace)
+  <|> (fun () ->
+  field "cycles" string_of_int (Cpu.cycles step_cpu) (Cpu.cycles blk_cpu))
+  <|> (fun () ->
+  field "instret" string_of_int (Cpu.instret step_cpu) (Cpu.instret blk_cpu))
+  <|> (fun () -> field "pc" string_of_int (Cpu.pc step_cpu) (Cpu.pc blk_cpu))
+  <|> (fun () ->
+  let regs c = List.init 32 (Cpu.reg c) in
+  field "regs" (show_list string_of_int) (regs step_cpu) (regs blk_cpu))
+  <|> fun () ->
+  let rec mem_diff a =
+    if a >= 65536 then None
+    else
+      let va = Cpu.read_mem step_cpu a and vb = Cpu.read_mem blk_cpu a in
+      if va <> vb then
+        Some (Printf.sprintf "iss-block mem[%d] differs: step %d vs block %d" a va vb)
+      else mem_diff (a + 1)
+  in
+  mem_diff 0
+
 let run_iss ~transform_asm ~fuel p =
   match
     let items, lay = Codegen.compile p in
@@ -82,23 +124,37 @@ let run_iss ~transform_asm ~fuel p =
   with
   | exception Invalid_argument m -> Error ("iss compile/assemble: " ^ m)
   | img, lay -> (
-      let out = ref [] in
-      let env =
-        {
-          Cpu.default_env with
-          Cpu.port_out = (fun pt v -> out := (pt, v) :: !out);
-        }
+      let run_tier runner =
+        let out = ref [] in
+        let env =
+          {
+            Cpu.default_env with
+            Cpu.port_out = (fun pt v -> out := (pt, v) :: !out);
+          }
+        in
+        let cpu = Cpu.create ~env img.Asm.code in
+        (* a generous statement->instruction expansion bound: agreement
+           with an interpreter run of [fuel] statements never needs
+           more *)
+        ignore (runner ~fuel:(40 * fuel) cpu);
+        (cpu, List.rev !out)
       in
-      let cpu = Cpu.create ~env img.Asm.code in
-      (* a generous statement->instruction expansion bound: agreement
-         with an interpreter run of [fuel] statements never needs more *)
-      match Cpu.run ~fuel:(40 * fuel) cpu with
-      | Cpu.Halted ->
-          Ok
-            ( List.rev !out,
-              List.map (fun v -> (v, Codegen.result lay cpu v)) p.B.results )
-      | Cpu.Trapped m -> Error ("iss trapped: " ^ m)
-      | Cpu.Running -> assert false)
+      let step_cpu, trace = run_tier (fun ~fuel c -> Cpu.run ~fuel c) in
+      let blk_cpu, blk_trace =
+        run_tier (fun ~fuel c -> Cpu.run_compiled ~fuel c)
+      in
+      match tiers_disagree step_cpu blk_cpu trace blk_trace with
+      | Some m -> Error m
+      | None -> (
+          match Cpu.status step_cpu with
+          | Cpu.Halted ->
+              Ok
+                ( trace,
+                  List.map
+                    (fun v -> (v, Codegen.result lay step_cpu v))
+                    p.B.results )
+          | Cpu.Trapped m -> Error ("iss trapped: " ^ m)
+          | Cpu.Running -> assert false))
 
 let run_net ~mapping p =
   match
@@ -468,6 +524,29 @@ let check_mixed rng =
       in
       basic m
       <|> (fun () -> Option.bind m' basic)
+      <|> (fun () ->
+      (* temporal decoupling must be functionally invisible: the same
+         assignment run with a 64-cycle quantum completes with the same
+         checksum (timing metrics may legitimately differ) *)
+      match
+        Cosim.run_echo_assignment ~levels:a ~items ~work ~src_period
+          ~sink_period ~quantum:64 ()
+      with
+      | exception e ->
+          Some
+            (Printf.sprintf "quantum=64 echo system raised %s %s"
+               (Printexc.to_string e) where)
+      | mq ->
+          if mq.Cosim.outcome <> Cosim.Completed then
+            Some
+              (Printf.sprintf "quantum=64 %s did not complete %s"
+                 (Cosim.assignment_name a) where)
+          else if mq.Cosim.checksum <> m.Cosim.checksum then
+            Some
+              (Printf.sprintf "quantum=64 %s checksum %d <> quantum=1 %d %s"
+                 (Cosim.assignment_name a) mq.Cosim.checksum m.Cosim.checksum
+                 where)
+          else None)
       <|> fun () ->
       Option.bind m' (fun m' ->
           let worse what get =

@@ -5,7 +5,13 @@
     implementation paths that claim identical function:
 
     + the {!Codesign_ir.Behavior} interpreter (reference),
-    + {!Codesign_isa.Codegen} + the cycle-counting CPU ISS,
+    + {!Codesign_isa.Codegen} + the cycle-counting CPU ISS — on {e both}
+      execution tiers: the reference step loop is the leg compared
+      against the interpreter, and the block-compiled tier
+      ({!Codesign_isa.Cpu.run_compiled}) must additionally agree with
+      the step tier on the complete machine state — status and trap
+      message, cycles, instret, final pc, registers, data memory and
+      port trace — whatever the outcome,
     + {!Codesign.Cosim.run_network} with the process mapped to software
       (ISS under the co-simulation kernel) and again mapped to hardware
       (timed behavioural thread),
@@ -66,7 +72,9 @@ val check_mixed : Codesign_ir.Rng.t -> string option
     where cost must not grow) run through
     {!Codesign.Cosim.run_echo_assignment}.  Checks completion, checksum
     agreement with the pure-pin reference, [bus_ops = 0] exactly when
-    both interfaces are at Message, and that events/activations did not
-    increase for the raised partner. *)
+    both interfaces are at Message, that the same assignment rerun with
+    a 64-cycle temporal-decoupling quantum still completes with the
+    same checksum, and that events/activations did not increase for the
+    raised partner. *)
 
 val check_taskgraph : Codesign_ir.Rng.t -> string option

@@ -323,23 +323,26 @@ let compile ?(base = default_base) ?(chan_ports = []) (p : B.proc) =
   emit Isa.Halt;
   (List.rev !items, lay)
 
-let bind lay cpu bindings =
-  List.iter
+let resolve lay bindings =
+  List.filter_map
     (fun (k, v) ->
       match String.index_opt k '[' with
       | None -> (
           match List.assoc_opt k lay.var_addr with
-          | Some a -> Cpu.write_mem cpu a v
-          | None -> () (* tolerate extra bindings, like Behavior.run *))
+          | Some a -> Some (a, v)
+          | None -> None (* tolerate extra bindings, like Behavior.run *))
       | Some i -> (
           let name = String.sub k 0 i in
           let idx =
             int_of_string (String.sub k (i + 1) (String.length k - i - 2))
           in
           match List.assoc_opt name lay.arr_addr with
-          | Some a -> Cpu.write_mem cpu (a + idx) v
+          | Some a -> Some (a + idx, v)
           | None -> invalid_arg ("Codegen.bind: unknown array " ^ name)))
     bindings
+
+let bind lay cpu bindings =
+  List.iter (fun (a, v) -> Cpu.write_mem cpu a v) (resolve lay bindings)
 
 let result lay cpu v =
   match List.assoc_opt v lay.var_addr with

@@ -51,9 +51,17 @@ val compile :
     @raise Invalid_argument on expression nesting deeper than the
     register stack, or on a channel operation with no port mapping. *)
 
+val resolve : layout -> (string * int) list -> (int * int) list
+(** Resolves symbolic parameter bindings to [(absolute word address,
+    value)] writes; array cells use the ["name[index]"] key convention
+    of {!Codesign_ir.Behavior.run}.  Unknown scalars are tolerated
+    (dropped), unknown arrays raise.  Callers that rerun the same
+    workload many times (benchmarks, steady-state co-simulation) can
+    resolve once and replay the writes without re-parsing the keys.
+    @raise Invalid_argument on an unknown array name. *)
+
 val bind : layout -> Cpu.t -> (string * int) list -> unit
-(** Pre-loads parameter bindings into CPU memory; array cells use the
-    ["name[index]"] key convention of {!Codesign_ir.Behavior.run}. *)
+(** [resolve] + the writes, in one step. *)
 
 val result : layout -> Cpu.t -> string -> int
 (** Reads a scalar variable back from CPU memory. *)

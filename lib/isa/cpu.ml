@@ -24,6 +24,11 @@ type t = {
   mem : int array;
   regs : int array;
   env : env;
+  plain_mem : bool;
+      (* both memory hooks are the defaults (pure no-ops), so the block
+         tier may access [mem] directly and skip the per-access
+         trap/interrupt recheck — nothing can perturb core state inside
+         a block *)
   latency : int Isa.instr -> int;
   irq_vector : int;
   mutable pc : int;
@@ -35,6 +40,10 @@ type t = {
   mutable in_isr : bool;
   mutable epc : int;
   mutable retire_cb : (pc:int -> cycles:int -> unit) option;
+  mutable blocks : Block_compiler.cache option;
+      (* decoded-block cache for [run_blocks]; built lazily on first
+         block dispatch and never invalidated — [code] is immutable for
+         the life of the CPU, so it survives [reset] *)
 }
 
 let create ?(mem_words = 65536) ?(env = default_env)
@@ -44,6 +53,9 @@ let create ?(mem_words = 65536) ?(env = default_env)
     mem = Array.make mem_words 0;
     regs = Array.make Isa.n_regs 0;
     env;
+    plain_mem =
+      env.mem_read == default_env.mem_read
+      && env.mem_write == default_env.mem_write;
     latency;
     irq_vector;
     pc = 0;
@@ -55,6 +67,7 @@ let create ?(mem_words = 65536) ?(env = default_env)
     in_isr = false;
     epc = 0;
     retire_cb = None;
+    blocks = None;
   }
 
 let reset t =
@@ -169,12 +182,18 @@ let step t =
   | Running -> (
       (* take a pending interrupt between instructions *)
       if t.irq_line && t.irq_enable && not t.in_isr then begin
+        let intr_pc = t.pc in
         t.epc <- t.pc;
         t.pc <- t.irq_vector;
         t.in_isr <- true;
         t.irq_enable <- false;
         t.cycles <- t.cycles + 2;
-        (* interrupt entry overhead *)
+        (* interrupt entry overhead: 2 cycles attributed to the
+           interrupted pc, so [Profiler.total_cycles] tracks [cycles]
+           exactly even on IRQ workloads *)
+        (match t.retire_cb with
+        | Some cb -> cb ~pc:intr_pc ~cycles:2
+        | None -> ());
         2
       end
       else if t.pc < 0 || t.pc >= Array.length t.code then begin
@@ -276,8 +295,10 @@ let step t =
                 t.pc <- next;
                 lat0
             | Isa.Halt ->
+                (* pc stays on the Halt instruction: advancing past the
+                   end of the code array leaked an out-of-range pc into
+                   snapshots and fuzz comparisons *)
                 t.status <- Halted;
-                t.pc <- next;
                 lat0
           in
           t.cycles <- t.cycles + lat;
@@ -300,5 +321,468 @@ let run_fast t ~fuel =
 
 let run ?(fuel = 50_000_000) t =
   ignore (run_fast t ~fuel);
+  if t.status = Running then t.status <- Trapped "fuel exhausted";
+  t.status
+
+(* ------------------------------------------------------------------ *)
+(* the block-compiled tier                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Bc = Block_compiler
+
+(* Index mappings fixed by [Block_compiler.alu_index] /
+   [Block_compiler.cond_index]; the fuzzed three-way equivalence suite
+   in test_compiled.ml pins them against the variant-based [alu]. *)
+let alu_apply idx a b =
+  match idx with
+  | 0 -> a + b
+  | 1 -> a - b
+  | 2 -> a * b
+  | 3 -> if b = 0 then 0 else a / b
+  | 4 -> if b = 0 then 0 else a mod b
+  | 5 -> a land b
+  | 6 -> a lor b
+  | 7 -> a lxor b
+  | 8 -> a lsl (b land 31)
+  | 9 -> a asr (b land 31)
+  | 10 -> if a < b then 1 else 0
+  | _ -> if a = b then 1 else 0
+
+let cond_apply idx a b =
+  match idx with 0 -> a = b | 1 -> a <> b | 2 -> a < b | _ -> a >= b
+
+(* Execute one decoded block.  [t.pc]/[t.cycles]/[t.instret] are
+   written only at block exit; every exit path (terminator, end-record,
+   fuel boundary, trap, hook-raised IRQ) leaves [t.pc] exactly where a
+   [step] loop would have.  Returns the fuel steps consumed — retired
+   instructions plus one for a trapping memory access, matching what
+   the same instructions would have cost through [run_fast].
+
+   The walk is a tail recursion over (record index, retired-so-far,
+   cycles-so-far) with every piece of state an explicit argument of a
+   top-level function: int accumulators instead of refs, and no local
+   closures, keep the hot loop allocation-free — the same discipline as
+   [Logic_sim.eval].  [steps] both counts retired instructions so far
+   and charges fuel; the two only diverge on the trapping exit, which
+   charges one extra fuel step for the access that retired nothing.
+   Reads of the uop array use [Array.unsafe_get]: every index is
+   produced by [Block_compiler.compile_block] over its own fixed-stride
+   records, never by guest data. *)
+let exec_finish t retired cy fuel_steps =
+  t.cycles <- t.cycles + cy;
+  t.instret <- t.instret + retired;
+  fuel_steps
+
+let exec_trap_mem t addr pcrec steps cy =
+  (* pc stays on the faulting instruction — same as [step]'s [Trap]
+     path *)
+  t.status <- Trapped (Printf.sprintf "mem access %d at pc %d" addr pcrec);
+  t.pc <- pcrec;
+  exec_finish t steps cy (steps + 1)
+
+let rec exec_uops t u max_steps i steps cy =
+  let base = i * 6 in
+  if steps >= max_steps then begin
+    (* fuel boundary: resume at this record's own pc *)
+    t.pc <- Array.unsafe_get u (base + 5);
+    exec_finish t steps cy steps
+  end
+  else
+    let op = Array.unsafe_get u base in
+    let regs = t.regs in
+    if op < Bc.uop_alui then begin
+      (* reg-reg ALU *)
+      let v =
+        alu_apply op
+          regs.(Array.unsafe_get u (base + 2))
+          regs.(Array.unsafe_get u (base + 3))
+      in
+      let d = Array.unsafe_get u (base + 1) in
+      if d <> 0 then regs.(d) <- v;
+      exec_uops t u max_steps (i + 1) (steps + 1)
+        (cy + Array.unsafe_get u (base + 4))
+    end
+    else if op < Bc.uop_li then begin
+      (* reg-imm ALU *)
+      let v =
+        alu_apply (op - Bc.uop_alui)
+          regs.(Array.unsafe_get u (base + 2))
+          (Array.unsafe_get u (base + 3))
+      in
+      let d = Array.unsafe_get u (base + 1) in
+      if d <> 0 then regs.(d) <- v;
+      exec_uops t u max_steps (i + 1) (steps + 1)
+        (cy + Array.unsafe_get u (base + 4))
+    end
+    else if op = Bc.uop_li then begin
+      let d = Array.unsafe_get u (base + 1) in
+      if d <> 0 then regs.(d) <- Array.unsafe_get u (base + 2);
+      exec_uops t u max_steps (i + 1) (steps + 1)
+        (cy + Array.unsafe_get u (base + 4))
+    end
+    else if op = Bc.uop_lw then begin
+      let addr =
+        regs.(Array.unsafe_get u (base + 2)) + Array.unsafe_get u (base + 3)
+      in
+      let mem = t.mem in
+      if t.plain_mem then
+        if addr >= 0 && addr < Array.length mem then begin
+          let d = Array.unsafe_get u (base + 1) in
+          if d <> 0 then regs.(d) <- mem.(addr);
+          exec_uops t u max_steps (i + 1) (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+        end
+        else exec_trap_mem t addr (Array.unsafe_get u (base + 5)) steps cy
+      else
+        (* hook-backed access: complete it, then re-check trap status
+           and the pending-interrupt condition — the hook may have
+           trapped the core or raised the request line, and [step]
+           would see either at the next instruction boundary *)
+        let ok =
+          match t.env.mem_read addr with
+          | Some v ->
+              let d = Array.unsafe_get u (base + 1) in
+              if d <> 0 then regs.(d) <- v;
+              true
+          | None ->
+              if addr < 0 || addr >= Array.length mem then false
+              else begin
+                let d = Array.unsafe_get u (base + 1) in
+                if d <> 0 then regs.(d) <- mem.(addr);
+                true
+              end
+        in
+        if not ok then
+          exec_trap_mem t addr (Array.unsafe_get u (base + 5)) steps cy
+        else if
+          t.status <> Running || (t.irq_line && t.irq_enable && not t.in_isr)
+        then begin
+          t.pc <- Array.unsafe_get u (base + 5) + 1;
+          exec_finish t (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+            (steps + 1)
+        end
+        else
+          exec_uops t u max_steps (i + 1) (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+    end
+    else if op = Bc.uop_sw then begin
+      let addr =
+        regs.(Array.unsafe_get u (base + 2)) + Array.unsafe_get u (base + 3)
+      in
+      let mem = t.mem in
+      if t.plain_mem then
+        if addr >= 0 && addr < Array.length mem then begin
+          mem.(addr) <- regs.(Array.unsafe_get u (base + 1));
+          exec_uops t u max_steps (i + 1) (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+        end
+        else exec_trap_mem t addr (Array.unsafe_get u (base + 5)) steps cy
+      else
+        let ok =
+          if t.env.mem_write addr regs.(Array.unsafe_get u (base + 1)) then
+            true
+          else if addr < 0 || addr >= Array.length mem then false
+          else begin
+            mem.(addr) <- regs.(Array.unsafe_get u (base + 1));
+            true
+          end
+        in
+        if not ok then
+          exec_trap_mem t addr (Array.unsafe_get u (base + 5)) steps cy
+        else if
+          t.status <> Running || (t.irq_line && t.irq_enable && not t.in_isr)
+        then begin
+          t.pc <- Array.unsafe_get u (base + 5) + 1;
+          exec_finish t (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+            (steps + 1)
+        end
+        else
+          exec_uops t u max_steps (i + 1) (steps + 1)
+            (cy + Array.unsafe_get u (base + 4))
+    end
+    else if op = Bc.uop_nop then
+      exec_uops t u max_steps (i + 1) (steps + 1)
+        (cy + Array.unsafe_get u (base + 4))
+    else if op < Bc.uop_j then begin
+      (* conditional branch: always the block terminator *)
+      let taken =
+        cond_apply (op - Bc.uop_b)
+          regs.(Array.unsafe_get u (base + 1))
+          regs.(Array.unsafe_get u (base + 2))
+      in
+      if taken then begin
+        t.pc <- Array.unsafe_get u (base + 3);
+        (* taken-branch penalty *)
+        exec_finish t (steps + 1)
+          (cy + Array.unsafe_get u (base + 4) + 1)
+          (steps + 1)
+      end
+      else begin
+        t.pc <- Array.unsafe_get u (base + 5) + 1;
+        exec_finish t (steps + 1)
+          (cy + Array.unsafe_get u (base + 4))
+          (steps + 1)
+      end
+    end
+    else if op = Bc.uop_j then begin
+      t.pc <- Array.unsafe_get u (base + 1);
+      exec_finish t (steps + 1) (cy + Array.unsafe_get u (base + 4)) (steps + 1)
+    end
+    else if op = Bc.uop_jal then begin
+      let d = Array.unsafe_get u (base + 1) in
+      if d <> 0 then regs.(d) <- Array.unsafe_get u (base + 5) + 1;
+      t.pc <- Array.unsafe_get u (base + 2);
+      exec_finish t (steps + 1) (cy + Array.unsafe_get u (base + 4)) (steps + 1)
+    end
+    else if op = Bc.uop_jr then begin
+      t.pc <- regs.(Array.unsafe_get u (base + 1));
+      exec_finish t (steps + 1) (cy + Array.unsafe_get u (base + 4)) (steps + 1)
+    end
+    else if op = Bc.uop_halt then begin
+      t.status <- Halted;
+      t.pc <- Array.unsafe_get u (base + 5);
+      exec_finish t (steps + 1) (cy + Array.unsafe_get u (base + 4)) (steps + 1)
+    end
+    else begin
+      (* uop_end: block fell off without a terminator *)
+      t.pc <- Array.unsafe_get u (base + 1);
+      exec_finish t steps cy steps
+    end
+
+(* Whole-block fast path, taken when memory is hook-free ([plain_mem])
+   and the remaining fuel covers the block's worst case ([n] steps).
+   Under those premises nothing can stop the walk mid-block except a
+   trapping memory access, so the per-record fuel check and the
+   cycles/instret accumulators disappear: each record is just operand
+   loads plus the operation, and the block exit charges the
+   precomputed [full_cycles]/[full_instrs] totals in one update.
+   Register-file accesses are unchecked as well — every register index
+   was validated at decode time ([Block_compiler.regs_ok]; blocks with
+   out-of-range registers never compile) — and memory accesses go
+   unchecked behind their explicit bounds test.  The trap exit is the
+   one slow case: it reconstructs the partial cycle sum by re-walking
+   the lat fields of the records already executed.
+
+   Block chaining: a terminator that leaves the core Running jumps
+   straight into the successor block through [exec_chain] when that
+   block is already decoded and the remaining fuel covers its worst
+   case, skipping the dispatcher round trip entirely (the dominant
+   cost for short loop bodies).  This is sound because the dispatcher's
+   re-checks cannot change outcome mid-chain under [plain_mem]: the
+   pending-interrupt condition was false at dispatch and only unsafe
+   instructions (Ei/Di/Rti — never inside a block) or hooks (absent)
+   can make it true, and a non-Running status exits the chain by
+   construction.  [acc] threads the fuel consumed by earlier blocks of
+   the chain so every continuation is a tail call. *)
+let exec_fast_trap t u acc i addr =
+  let cy = ref 0 in
+  for k = 0 to i - 1 do
+    cy := !cy + Array.unsafe_get u ((k * 6) + 4)
+  done;
+  let pcrec = Array.unsafe_get u ((i * 6) + 5) in
+  t.status <- Trapped (Printf.sprintf "mem access %d at pc %d" addr pcrec);
+  t.pc <- pcrec;
+  t.cycles <- t.cycles + !cy;
+  t.instret <- t.instret + i;
+  acc + i + 1
+
+let rec exec_fast t entries fuel_left acc u fc fi i =
+  let base = i * 6 in
+  let op = Array.unsafe_get u base in
+  let regs = t.regs in
+  if op < Bc.uop_li then begin
+    (* reg-reg and reg-imm ALU share one inlined operator dispatch —
+       a direct jump table on the alu index, no out-of-line call *)
+    let a = Array.unsafe_get regs (Array.unsafe_get u (base + 2)) in
+    let y = Array.unsafe_get u (base + 3) in
+    let imm = op >= Bc.uop_alui in
+    let idx = if imm then op - Bc.uop_alui else op in
+    let b = if imm then y else Array.unsafe_get regs y in
+    let v =
+      match idx with
+      | 0 -> a + b
+      | 1 -> a - b
+      | 2 -> a * b
+      | 3 -> if b = 0 then 0 else a / b
+      | 4 -> if b = 0 then 0 else a mod b
+      | 5 -> a land b
+      | 6 -> a lor b
+      | 7 -> a lxor b
+      | 8 -> a lsl (b land 31)
+      | 9 -> a asr (b land 31)
+      | 10 -> if a < b then 1 else 0
+      | _ -> if a = b then 1 else 0
+    in
+    let d = Array.unsafe_get u (base + 1) in
+    if d <> 0 then Array.unsafe_set regs d v;
+    exec_fast t entries fuel_left acc u fc fi (i + 1)
+  end
+  else if op = Bc.uop_li then begin
+    let d = Array.unsafe_get u (base + 1) in
+    if d <> 0 then Array.unsafe_set regs d (Array.unsafe_get u (base + 2));
+    exec_fast t entries fuel_left acc u fc fi (i + 1)
+  end
+  else if op = Bc.uop_lw then begin
+    let addr =
+      Array.unsafe_get regs (Array.unsafe_get u (base + 2))
+      + Array.unsafe_get u (base + 3)
+    in
+    let mem = t.mem in
+    if addr >= 0 && addr < Array.length mem then begin
+      let d = Array.unsafe_get u (base + 1) in
+      if d <> 0 then Array.unsafe_set regs d (Array.unsafe_get mem addr);
+      exec_fast t entries fuel_left acc u fc fi (i + 1)
+    end
+    else exec_fast_trap t u acc i addr
+  end
+  else if op = Bc.uop_sw then begin
+    let addr =
+      Array.unsafe_get regs (Array.unsafe_get u (base + 2))
+      + Array.unsafe_get u (base + 3)
+    in
+    let mem = t.mem in
+    if addr >= 0 && addr < Array.length mem then begin
+      Array.unsafe_set mem addr
+        (Array.unsafe_get regs (Array.unsafe_get u (base + 1)));
+      exec_fast t entries fuel_left acc u fc fi (i + 1)
+    end
+    else exec_fast_trap t u acc i addr
+  end
+  else if op = Bc.uop_nop then exec_fast t entries fuel_left acc u fc fi (i + 1)
+  else if op < Bc.uop_j then begin
+    let taken =
+      cond_apply (op - Bc.uop_b)
+        (Array.unsafe_get regs (Array.unsafe_get u (base + 1)))
+        (Array.unsafe_get regs (Array.unsafe_get u (base + 2)))
+    in
+    let pc =
+      if taken then begin
+        t.cycles <- t.cycles + fc + 1;
+        Array.unsafe_get u (base + 3)
+      end
+      else begin
+        t.cycles <- t.cycles + fc;
+        Array.unsafe_get u (base + 5) + 1
+      end
+    in
+    t.pc <- pc;
+    t.instret <- t.instret + fi;
+    exec_chain t entries (fuel_left - fi) (acc + fi) pc
+  end
+  else if op = Bc.uop_j then begin
+    let pc = Array.unsafe_get u (base + 1) in
+    t.pc <- pc;
+    t.cycles <- t.cycles + fc;
+    t.instret <- t.instret + fi;
+    exec_chain t entries (fuel_left - fi) (acc + fi) pc
+  end
+  else if op = Bc.uop_jal then begin
+    let d = Array.unsafe_get u (base + 1) in
+    if d <> 0 then Array.unsafe_set regs d (Array.unsafe_get u (base + 5) + 1);
+    let pc = Array.unsafe_get u (base + 2) in
+    t.pc <- pc;
+    t.cycles <- t.cycles + fc;
+    t.instret <- t.instret + fi;
+    exec_chain t entries (fuel_left - fi) (acc + fi) pc
+  end
+  else if op = Bc.uop_jr then begin
+    let pc = Array.unsafe_get regs (Array.unsafe_get u (base + 1)) in
+    t.pc <- pc;
+    t.cycles <- t.cycles + fc;
+    t.instret <- t.instret + fi;
+    exec_chain t entries (fuel_left - fi) (acc + fi) pc
+  end
+  else if op = Bc.uop_halt then begin
+    t.status <- Halted;
+    t.pc <- Array.unsafe_get u (base + 5);
+    t.cycles <- t.cycles + fc;
+    t.instret <- t.instret + fi;
+    acc + fi
+  end
+  else begin
+    (* uop_end *)
+    let pc = Array.unsafe_get u (base + 1) in
+    t.pc <- pc;
+    t.cycles <- t.cycles + fc;
+    t.instret <- t.instret + fi;
+    exec_chain t entries (fuel_left - fi) (acc + fi) pc
+  end
+
+and exec_chain t entries fuel_left acc pc =
+  if pc >= 0 && pc < Array.length entries then
+    match Array.unsafe_get entries pc with
+    | Some (Bc.Block blk) when fuel_left >= blk.Bc.n ->
+        exec_fast t entries fuel_left acc blk.Bc.uops blk.Bc.full_cycles
+          blk.Bc.full_instrs 0
+    | _ ->
+        (* undecoded, unsafe, or not enough fuel left: back to the
+           dispatcher *)
+        acc
+  else acc
+
+let exec_block t entries (blk : Bc.block) ~max_steps =
+  if t.plain_mem && max_steps >= blk.Bc.n then
+    exec_fast t entries max_steps 0 blk.Bc.uops blk.Bc.full_cycles
+      blk.Bc.full_instrs 0
+  else exec_uops t blk.Bc.uops max_steps 0 0 0
+
+(* A pattern match instead of [t.status = Running]: [status] carries a
+   string payload, so [=] is a generic-equality call — too expensive
+   for a per-dispatch check. *)
+let is_running t = match t.status with Running -> true | _ -> false
+
+let run_blocks t ~fuel =
+  match t.retire_cb with
+  | Some _ ->
+      (* per-instruction attribution must observe an up-to-date [cycles]
+         at every retirement, so profiled runs stay on the reference
+         tier *)
+      run_fast t ~fuel
+  | None ->
+      let cache =
+        match t.blocks with
+        | Some c -> c
+        | None ->
+            let c = Bc.create ~latency:t.latency t.code in
+            t.blocks <- Some c;
+            c
+      in
+      let entries = Bc.entries cache in
+      let code_len = Array.length t.code in
+      let steps = ref 0 in
+      while is_running t && !steps < fuel do
+        if
+          t.pc < 0 || t.pc >= code_len
+          || (t.irq_line && t.irq_enable && not t.in_isr)
+        then begin
+          (* out-of-range pc trap and interrupt entry go through [step]
+             so their semantics (and fuel charge) are identical by
+             construction *)
+          ignore (step t);
+          incr steps
+        end
+        else begin
+          (* hit path is a plain table load — [t.pc] was bounds-checked
+             above and [entries] has one slot per pc *)
+          match Array.unsafe_get entries t.pc with
+          | Some (Bc.Block blk) ->
+              steps := !steps + exec_block t entries blk ~max_steps:(fuel - !steps)
+          | Some Bc.Unsafe ->
+              ignore (step t);
+              incr steps
+          | None ->
+              (* decode on first touch, then let the loop re-dispatch *)
+              ignore (Bc.get cache ~pc:t.pc)
+        end
+      done;
+      !steps
+
+let blocks_compiled t =
+  match t.blocks with None -> 0 | Some c -> Bc.blocks_compiled c
+
+let run_compiled ?(fuel = 50_000_000) t =
+  ignore (run_blocks t ~fuel);
   if t.status = Running then t.status <- Trapped "fuel exhausted";
   t.status

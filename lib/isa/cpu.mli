@@ -93,17 +93,51 @@ val step : t -> int
 
 val run_fast : t -> fuel:int -> int
 (** The inner dispatch loop of {!run}: execute up to [fuel] steps
-    (instructions or interrupt entries) without per-step bookkeeping
-    beyond {!step} itself, stopping early on [Halted]/[Trapped].
-    Returns the number of steps executed; unlike {!run} it does not
-    turn fuel exhaustion into a trap, so slicing callers (profilers,
-    fuzzing oracles) can interleave bounded bursts with their own
-    checks.  Semantically identical to calling {!step} in a loop. *)
+    without per-step bookkeeping beyond {!step} itself, stopping early
+    on [Halted]/[Trapped].  Returns the number of steps executed;
+    unlike {!run} it does not turn fuel exhaustion into a trap, so
+    slicing callers (budget supervisors, fuzzing oracles) can
+    interleave bounded bursts with their own checks.  Semantically
+    identical to calling {!step} in a loop.
+
+    {b Fuel contract} (shared with {!run_blocks} and
+    {!Codesign_resil.Budget.run_cpu}): one fuel step is one retired
+    instruction, {e or} one interrupt entry, {e or} one trapping memory
+    access — every call to {!step} that did work.  {!instret} counts
+    only retired instructions, so after an IRQ-heavy run
+    [steps > instret] by exactly the number of interrupt entries (plus
+    one if the run ended in a trap). *)
 
 val run : ?fuel:int -> t -> status
-(** Step until [Halted] or [Trapped]; [fuel] bounds the instruction
-    count (default 50 million) and exhaustion traps.  Implemented on
-    {!run_fast}. *)
+(** Step until [Halted] or [Trapped]; [fuel] bounds the step count
+    (default 50 million, counted per the fuel contract of {!run_fast})
+    and exhaustion traps.  Implemented on {!run_fast}. *)
+
+val run_blocks : t -> fuel:int -> int
+(** The block-compiled tier: same observable semantics and same fuel
+    contract as {!run_fast}, typically several times faster.  Basic
+    blocks are decoded once (lazily, via {!Block_compiler}) into flat
+    micro-op records and executed whole per dispatch, with
+    cycles/instret updated once at block exit.  Interrupts are polled
+    at block boundaries and after every [Lw]/[Sw] (the only in-block
+    instructions whose hooks can raise the request line), so interrupt
+    entry points, port traces and trap locations are identical to the
+    step tier.  Instructions with environment-visible or
+    interrupt-visible work ([In]/[Out]/[Custom]/[Ei]/[Di]/[Rti]) and
+    interrupt entries fall back to {!step}.  When an {!on_retire}
+    callback is installed the whole run falls back to {!run_fast} so
+    per-instruction attribution observes an up-to-date cycle counter.
+    The decoded-block cache lives on the CPU, is built on first
+    dispatch, survives {!reset} and is never invalidated (the program
+    is immutable). *)
+
+val run_compiled : ?fuel:int -> t -> status
+(** {!run} on the block-compiled tier: step until [Halted]/[Trapped]
+    via {!run_blocks}; fuel exhaustion traps. *)
+
+val blocks_compiled : t -> int
+(** Distinct basic blocks decoded so far by the block tier (0 if
+    {!run_blocks} has not run). *)
 
 val on_retire : t -> (pc:int -> cycles:int -> unit) -> unit
 (** Install a retirement callback (used by the profiler): called after

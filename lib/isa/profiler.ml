@@ -13,10 +13,13 @@ let attach cpu image =
     }
   in
   Cpu.on_retire cpu (fun ~pc ~cycles ->
-      if pc >= 0 && pc < Array.length t.counts then begin
-        t.counts.(pc) <- t.counts.(pc) + cycles;
-        t.total <- t.total + cycles
-      end);
+      (* [total] accumulates unconditionally so it tracks [Cpu.cycles]
+         exactly — interrupt entry can report the interrupted pc even
+         when it is outside the image (e.g. a wild jump); only the
+         per-pc histogram needs the bounds guard *)
+      t.total <- t.total + cycles;
+      if pc >= 0 && pc < Array.length t.counts then
+        t.counts.(pc) <- t.counts.(pc) + cycles);
   t
 
 let total_cycles t = t.total

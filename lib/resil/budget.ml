@@ -104,9 +104,13 @@ let run_cpu t cpu =
               | None -> cpu_slice
               | Some f -> min cpu_slice f
             in
-            let ran = Cpu.run_fast cpu ~fuel:slice in
+            (* the block-compiled tier charges fuel under the same
+               contract as run_fast (one step per retired instruction,
+               interrupt entry or trapping access), so budget outcomes
+               are tier-independent *)
+            let ran = Cpu.run_blocks cpu ~fuel:slice in
             spend t ran;
-            (* run_fast returning short without a status change cannot
+            (* run_blocks returning short without a status change cannot
                happen, but guard against a zero-progress loop anyway. *)
             if ran = 0 && Cpu.status cpu = Cpu.Running then Exhausted Fuel
             else go ())

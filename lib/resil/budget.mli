@@ -80,9 +80,11 @@ val run_kernel :
     can be inspected, snapshot or restored. *)
 
 val run_cpu : t -> Codesign_isa.Cpu.t -> Codesign_isa.Cpu.status outcome
-(** Step the ISS until it halts/traps or the budget runs out (fuel =
-    instruction steps; the deadline is checked between 4096-step
-    slices).  [Done status] is never [Running]. *)
+(** Run the ISS until it halts/traps or the budget runs out, on the
+    block-compiled tier ({!Codesign_isa.Cpu.run_blocks}; fuel = steps
+    per that function's contract — retired instructions, interrupt
+    entries and trapping accesses; the deadline is checked between
+    4096-step slices).  [Done status] is never [Running]. *)
 
 val run_logic :
   t -> Codesign_rtl.Logic_sim.t -> cycles:int -> int outcome

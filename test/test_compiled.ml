@@ -1,8 +1,14 @@
 (* Old-vs-new equivalence property tests for the compiled simulation hot
    paths: random netlists through the interpreted vs compiled
    {!Logic_sim} backends, and random fuzz behaviours through a manual
-   [Cpu.step] loop vs [Cpu.run_fast] — both pairs must be observationally
-   identical (outputs, cycle counts, architectural state). *)
+   [Cpu.step] loop vs [Cpu.run_fast] vs the block-compiled tier
+   [Cpu.run_blocks] — all must be observationally identical (outputs,
+   cycle counts, architectural state), including at fuel boundaries
+   that land mid-block, on branches into the middle of decoded blocks,
+   and on interrupts raised by memory hooks mid-block.  The temporally
+   decoupled co-simulation quantum rides on the block tier, so its
+   invariants (quantum 1 byte-identical, larger quanta
+   checksum-preserving) are pinned here too. *)
 
 module N = Codesign_rtl.Netlist
 module L = Codesign_rtl.Logic_sim
@@ -99,7 +105,7 @@ let test_logic_sim_eval_equivalence () =
   done
 
 (* ------------------------------------------------------------------ *)
-(* step loop vs run_fast                                               *)
+(* step loop vs run_fast vs run_blocks                                 *)
 (* ------------------------------------------------------------------ *)
 
 let status_eq a b =
@@ -113,10 +119,49 @@ let show_status = function
   | Cpu.Halted -> "Halted"
   | Cpu.Trapped m -> "Trapped " ^ m
 
-let test_iss_run_fast_equivalence () =
+(* Full architectural-state comparison: status (with trap message),
+   cycle and instruction counters, pc, register file and data memory.
+   [ref_cpu] is always the precise step-loop machine. *)
+let compare_cpus ~where ~mem_words ref_cpu other_cpu =
+  if not (status_eq (Cpu.status ref_cpu) (Cpu.status other_cpu)) then
+    fail
+      (where
+         (Printf.sprintf "status %s vs %s"
+            (show_status (Cpu.status ref_cpu))
+            (show_status (Cpu.status other_cpu))));
+  check Alcotest.int (where "cycles") (Cpu.cycles ref_cpu)
+    (Cpu.cycles other_cpu);
+  check Alcotest.int (where "instret") (Cpu.instret ref_cpu)
+    (Cpu.instret other_cpu);
+  check Alcotest.int (where "pc") (Cpu.pc ref_cpu) (Cpu.pc other_cpu);
+  for r = 0 to Codesign_isa.Isa.n_regs - 1 do
+    if Cpu.reg ref_cpu r <> Cpu.reg other_cpu r then
+      fail
+        (where
+           (Printf.sprintf "reg r%d: %d vs %d" r (Cpu.reg ref_cpu r)
+              (Cpu.reg other_cpu r)))
+  done;
+  for a = 0 to mem_words - 1 do
+    if Cpu.read_mem ref_cpu a <> Cpu.read_mem other_cpu a then
+      fail
+        (where
+           (Printf.sprintf "mem[%d]: %d vs %d" a (Cpu.read_mem ref_cpu a)
+              (Cpu.read_mem other_cpu a)))
+  done
+
+let step_loop cpu ~fuel =
+  let steps = ref 0 in
+  while Cpu.status cpu = Cpu.Running && !steps < fuel do
+    ignore (Cpu.step cpu);
+    incr steps
+  done;
+  !steps
+
+let test_iss_three_way_equivalence () =
   let mem_words = 65536 in
   let fuel = 200_000 in
   let n_checked = ref 0 in
+  let blocks_seen = ref 0 in
   for seed = 0 to 99 do
     let p = Gen.behavior (Rng.create (9000 + seed)) in
     match Codegen.compile p with
@@ -138,47 +183,260 @@ let test_iss_run_fast_equivalence () =
             in
             let cpu_step, trace_step = trace_of () in
             let cpu_fast, trace_fast = trace_of () in
-            let steps = ref 0 in
-            while Cpu.status cpu_step = Cpu.Running && !steps < fuel do
-              ignore (Cpu.step cpu_step);
-              incr steps
-            done;
+            let cpu_blocks, trace_blocks = trace_of () in
+            ignore (step_loop cpu_step ~fuel);
             ignore (Cpu.run_fast cpu_fast ~fuel);
-            let where what = Printf.sprintf "seed %d: %s" seed what in
-            if not (status_eq (Cpu.status cpu_step) (Cpu.status cpu_fast))
-            then
-              fail
-                (where
-                   (Printf.sprintf "status %s vs %s"
-                      (show_status (Cpu.status cpu_step))
-                      (show_status (Cpu.status cpu_fast))));
-            check Alcotest.int (where "cycles") (Cpu.cycles cpu_step)
-              (Cpu.cycles cpu_fast);
-            check Alcotest.int (where "instret") (Cpu.instret cpu_step)
-              (Cpu.instret cpu_fast);
-            check Alcotest.int (where "pc") (Cpu.pc cpu_step)
-              (Cpu.pc cpu_fast);
-            for r = 0 to Codesign_isa.Isa.n_regs - 1 do
-              if Cpu.reg cpu_step r <> Cpu.reg cpu_fast r then
-                fail
-                  (where
-                     (Printf.sprintf "reg r%d: %d vs %d" r
-                        (Cpu.reg cpu_step r) (Cpu.reg cpu_fast r)))
-            done;
-            for a = 0 to mem_words - 1 do
-              if Cpu.read_mem cpu_step a <> Cpu.read_mem cpu_fast a then
-                fail
-                  (where
-                     (Printf.sprintf "mem[%d]: %d vs %d" a
-                        (Cpu.read_mem cpu_step a) (Cpu.read_mem cpu_fast a)))
-            done;
+            ignore (Cpu.run_blocks cpu_blocks ~fuel);
+            blocks_seen := !blocks_seen + Cpu.blocks_compiled cpu_blocks;
+            let where_fast what =
+              Printf.sprintf "seed %d (run_fast): %s" seed what
+            in
+            let where_blocks what =
+              Printf.sprintf "seed %d (run_blocks): %s" seed what
+            in
+            compare_cpus ~where:where_fast ~mem_words cpu_step cpu_fast;
+            compare_cpus ~where:where_blocks ~mem_words cpu_step cpu_blocks;
             if !trace_step <> !trace_fast then
-              fail (where "port traces differ"))
+              fail (where_fast "port traces differ");
+            if !trace_step <> !trace_blocks then
+              fail (where_blocks "port traces differ"))
   done;
   check Alcotest.bool
     (Printf.sprintf "most behaviours compiled (%d/100)" !n_checked)
     true
-    (!n_checked >= 80)
+    (!n_checked >= 80);
+  check Alcotest.bool
+    (Printf.sprintf "block tier actually decoded blocks (%d)" !blocks_seen)
+    true (!blocks_seen > 0)
+
+(* Fuel boundaries landing mid-block: drive the step loop and the block
+   tier in identical odd-sized fuel slices and require identical state
+   at {e every} slice boundary — the block tier must stop exactly where
+   the interpreter does, resume from the middle of a decoded block, and
+   charge the same fuel. *)
+let test_iss_block_fuel_slices () =
+  let mem_words = 65536 in
+  for seed = 0 to 29 do
+    let p = Gen.behavior (Rng.create (17_000 + seed)) in
+    match Codegen.compile p with
+    | exception Invalid_argument _ -> ()
+    | items, _lay -> (
+        match Asm.assemble items with
+        | exception Invalid_argument _ -> ()
+        | img ->
+            let cpu_step = Cpu.create ~mem_words img.Asm.code in
+            let cpu_blocks = Cpu.create ~mem_words img.Asm.code in
+            let slice = 1 + (seed mod 13) in
+            let total = ref 0 in
+            let continue = ref true in
+            while !continue do
+              let s1 = step_loop cpu_step ~fuel:slice in
+              let s2 = Cpu.run_blocks cpu_blocks ~fuel:slice in
+              let where what =
+                Printf.sprintf "seed %d slice@%d: %s" seed !total what
+              in
+              check Alcotest.int (where "fuel consumed") s1 s2;
+              compare_cpus ~where ~mem_words cpu_step cpu_blocks;
+              total := !total + s1;
+              if s1 = 0 || Cpu.status cpu_step <> Cpu.Running
+                 || !total > 50_000
+              then continue := false
+            done)
+  done
+
+(* Straight-line fuel sweep: every possible fuel boundary of a single
+   block, including 0, mid-block, exactly-at-terminator and past the
+   halt. *)
+let test_iss_straightline_fuel_sweep () =
+  let mem_words = 4096 in
+  let src =
+    {|
+  li r1, 1
+  addi r2, r1, 10
+  li r3, 3
+  sw r3, 100(r0)
+  lw r4, 100(r0)
+  addi r5, r4, 1
+  li r6, 6
+  nop
+  addi r7, r6, 7
+  halt
+|}
+  in
+  let img = Asm.assemble (Asm.parse src) in
+  for fuel = 0 to 12 do
+    let cpu_step = Cpu.create ~mem_words img.Asm.code in
+    let cpu_blocks = Cpu.create ~mem_words img.Asm.code in
+    ignore (step_loop cpu_step ~fuel);
+    ignore (Cpu.run_blocks cpu_blocks ~fuel);
+    let where what = Printf.sprintf "fuel %d: %s" fuel what in
+    compare_cpus ~where ~mem_words cpu_step cpu_blocks
+  done
+
+(* A branch back into the middle of an already-decoded block: the
+   target pc gets its own overlapping block, and both passes (entry
+   from the top, entry into the middle) must count cycles exactly like
+   the interpreter. *)
+let test_iss_branch_into_middle () =
+  let mem_words = 4096 in
+  let src =
+    {|
+  li r9, 2
+  li r1, 1
+mid:
+  li r2, 2
+  addi r3, r2, 1
+  subi r9, r9, 1
+  b.ne r9, r0, mid
+  halt
+|}
+  in
+  let img = Asm.assemble (Asm.parse src) in
+  let cpu_step = Cpu.create ~mem_words img.Asm.code in
+  let cpu_blocks = Cpu.create ~mem_words img.Asm.code in
+  ignore (step_loop cpu_step ~fuel:1000);
+  ignore (Cpu.run_blocks cpu_blocks ~fuel:1000);
+  let where what = Printf.sprintf "branch-into-middle: %s" what in
+  compare_cpus ~where ~mem_words cpu_step cpu_blocks;
+  check Alcotest.bool "overlapping block decoded" true
+    (Cpu.blocks_compiled cpu_blocks >= 2)
+
+(* An interrupt raised by a memory-mapped read in the middle of a
+   block: the hook drives the request line high, so the block tier must
+   cut the block at that instruction boundary and vector exactly where
+   the interpreter does.  The ISR acknowledges through a second
+   memory-mapped read that drives the line low again. *)
+let test_iss_irq_mid_block () =
+  let mem_words = 4096 in
+  let src =
+    {|
+  j main
+isr:
+  li r5, 1
+  lw r6, 3000(r0)
+  rti
+main:
+  ei
+  li r1, 1
+  addi r2, r1, 1
+  lw r3, 2000(r0)
+  addi r4, r2, 10
+  addi r7, r4, 1
+  halt
+|}
+  in
+  let img = Asm.assemble (Asm.parse src) in
+  let mk () =
+    let cell = ref None in
+    let env =
+      {
+        Cpu.default_env with
+        Cpu.mem_read =
+          (fun a ->
+            match !cell with
+            | None -> None
+            | Some cpu ->
+                if a = 2000 then begin
+                  Cpu.set_irq cpu true;
+                  Some 7
+                end
+                else if a = 3000 then begin
+                  Cpu.set_irq cpu false;
+                  Some 0
+                end
+                else None);
+      }
+    in
+    let cpu = Cpu.create ~mem_words ~env img.Asm.code in
+    cell := Some cpu;
+    cpu
+  in
+  let cpu_step = mk () in
+  let cpu_blocks = mk () in
+  ignore (step_loop cpu_step ~fuel:1000);
+  ignore (Cpu.run_blocks cpu_blocks ~fuel:1000);
+  let where what = Printf.sprintf "irq-mid-block: %s" what in
+  compare_cpus ~where ~mem_words cpu_step cpu_blocks;
+  check Alcotest.int (where "ISR ran") 1 (Cpu.reg cpu_blocks 5);
+  check Alcotest.int (where "mmio value read") 7 (Cpu.reg cpu_blocks 3);
+  check Alcotest.int (where "post-irq code ran") 12 (Cpu.reg cpu_blocks 4)
+
+(* ------------------------------------------------------------------ *)
+(* temporally decoupled co-simulation quantum                          *)
+(* ------------------------------------------------------------------ *)
+
+module Cosim = Codesign.Cosim
+
+let quantum_assignments =
+  [
+    Cosim.pure Cosim.Pin;
+    { Cosim.src = Cosim.Pin; cpu = Cosim.Transaction; sink = Cosim.Driver };
+    { Cosim.src = Cosim.Driver; cpu = Cosim.Driver; sink = Cosim.Message };
+    Cosim.pure Cosim.Message;
+  ]
+
+let assignment_name (a : Cosim.assignment) =
+  Printf.sprintf "%s:%s:%s"
+    (Cosim.level_name a.Cosim.src)
+    (Cosim.level_name a.Cosim.cpu)
+    (Cosim.level_name a.Cosim.sink)
+
+(* quantum 1 must be byte-identical to the historic tight coupling:
+   the whole metrics record, not just the checksum *)
+let test_quantum_one_identical () =
+  List.iter
+    (fun levels ->
+      let m_default = Cosim.run_echo_assignment ~levels () in
+      let m_q1 = Cosim.run_echo_assignment ~levels ~quantum:1 () in
+      check Alcotest.bool
+        (Printf.sprintf "%s: quantum 1 = default (all metrics)"
+           (assignment_name levels))
+        true
+        (m_default = m_q1))
+    quantum_assignments
+
+(* larger quanta preserve function and cost less simulator effort *)
+let test_quantum_preserves_checksum () =
+  List.iter
+    (fun levels ->
+      let m1 = Cosim.run_echo_assignment ~levels ~quantum:1 () in
+      List.iter
+        (fun q ->
+          let mq = Cosim.run_echo_assignment ~levels ~quantum:q () in
+          let name what =
+            Printf.sprintf "%s q=%d: %s" (assignment_name levels) q what
+          in
+          check Alcotest.bool (name "completed") true
+            (mq.Cosim.outcome = Cosim.Completed);
+          check Alcotest.int (name "checksum") m1.Cosim.checksum
+            mq.Cosim.checksum;
+          check Alcotest.bool
+            (name
+               (Printf.sprintf "events %d <= %d" mq.Cosim.events
+                  m1.Cosim.events))
+            true
+            (mq.Cosim.events <= m1.Cosim.events))
+        [ 2; 8; 64; 1024 ])
+    quantum_assignments
+
+(* pinned golden for one mixed assignment: the decoupled run must keep
+   the functional checksum and the simulated completion time of the
+   tightly coupled reference while dispatching far fewer events *)
+let test_quantum_golden () =
+  let levels =
+    { Cosim.src = Cosim.Pin; cpu = Cosim.Driver; sink = Cosim.Transaction }
+  in
+  let m1 = Cosim.run_echo_assignment ~levels ~quantum:1 () in
+  let m64 = Cosim.run_echo_assignment ~levels ~quantum:64 () in
+  check Alcotest.int "golden: checksum preserved" m1.Cosim.checksum
+    m64.Cosim.checksum;
+  check Alcotest.int "golden: sim_cycles preserved" m1.Cosim.sim_cycles
+    m64.Cosim.sim_cycles;
+  check Alcotest.bool
+    (Printf.sprintf "golden: events shrink (%d < %d)" m64.Cosim.events
+       m1.Cosim.events)
+    true
+    (m64.Cosim.events < m1.Cosim.events)
 
 let () =
   Alcotest.run "codesign_compiled"
@@ -192,7 +450,25 @@ let () =
         ] );
       ( "iss",
         [
-          Alcotest.test_case "step loop = run_fast on fuzz behaviours"
-            `Quick test_iss_run_fast_equivalence;
+          Alcotest.test_case
+            "step loop = run_fast = run_blocks on fuzz behaviours" `Quick
+            test_iss_three_way_equivalence;
+          Alcotest.test_case "fuel slices land mid-block identically" `Quick
+            test_iss_block_fuel_slices;
+          Alcotest.test_case "straight-line fuel sweep" `Quick
+            test_iss_straightline_fuel_sweep;
+          Alcotest.test_case "branch into the middle of a decoded block"
+            `Quick test_iss_branch_into_middle;
+          Alcotest.test_case "hook-raised interrupt cuts the block" `Quick
+            test_iss_irq_mid_block;
+        ] );
+      ( "quantum",
+        [
+          Alcotest.test_case "quantum 1 is byte-identical to default" `Quick
+            test_quantum_one_identical;
+          Alcotest.test_case "larger quanta preserve the checksum" `Quick
+            test_quantum_preserves_checksum;
+          Alcotest.test_case "pinned golden: pin:driver:tlm at quantum 64"
+            `Quick test_quantum_golden;
         ] );
     ]

@@ -376,6 +376,81 @@ let test_profiler_entry_region () =
   | [ ("<entry>", 2) ] -> ()
   | _ -> fail "expected <entry> aggregation"
 
+let irq_src =
+  {|
+  j main
+isr:
+  li r5, 1
+  rti
+main:
+  ei
+spin:
+  b.eq r5, r0, spin
+  halt
+|}
+
+(* Regression: interrupt entry burns 2 cycles but used to bypass the
+   retirement callback, so [Profiler.total_cycles] drifted below
+   [Cpu.cycles] by 2 per interrupt — exactly the kind of silent
+   accounting skew a block-compiled tier would have baked in.  The
+   entry now reports to the callback (attributed to the interrupted
+   pc), so the two counters track exactly on IRQ workloads, under both
+   run paths. *)
+let test_profiler_irq_total_cycles () =
+  let run_with runner =
+    let img = Asm.assemble (Asm.parse irq_src) in
+    let cpu = Cpu.create img.Asm.code in
+    let prof = Profiler.attach cpu img in
+    for _ = 1 to 10 do
+      ignore (Cpu.step cpu)
+    done;
+    Cpu.set_irq cpu true;
+    ignore (Cpu.step cpu);
+    Cpu.set_irq cpu false;
+    runner cpu;
+    check Alcotest.bool "halted" true (Cpu.status cpu = Cpu.Halted);
+    check Alcotest.int "isr ran" 1 (Cpu.reg cpu 5);
+    check Alcotest.int "profiler total = cpu cycles" (Cpu.cycles cpu)
+      (Profiler.total_cycles prof)
+  in
+  run_with (fun cpu -> ignore (Cpu.run cpu));
+  run_with (fun cpu -> ignore (Cpu.run_blocks cpu ~fuel:100_000))
+
+(* Regression: [Halt] used to advance pc past the halt instruction; it
+   now stays on it, so a halted CPU's pc names the halt site (and the
+   block tier, snapshots and fuzz state comparisons all agree on it). *)
+let test_cpu_halt_pc () =
+  let img = Asm.assemble (Asm.parse "li r1, 1\n li r2, 2\n halt") in
+  let cpu_step = Cpu.create img.Asm.code in
+  ignore (Cpu.run cpu_step);
+  check Alcotest.int "pc stays on halt (step)" 2 (Cpu.pc cpu_step);
+  let cpu_blocks = Cpu.create img.Asm.code in
+  ignore (Cpu.run_blocks cpu_blocks ~fuel:100);
+  check Alcotest.int "pc stays on halt (blocks)" 2 (Cpu.pc cpu_blocks)
+
+(* One fuel step = one retired instruction OR one interrupt entry: a
+   budget that exhausts exactly at the entry boundary performs the
+   entry alone — 2 cycles, nothing retired, pc at the vector — under
+   both tiers. *)
+let test_cpu_fuel_at_irq_boundary () =
+  let with_tier runner =
+    let img = Asm.assemble (Asm.parse irq_src) in
+    let cpu = Cpu.create img.Asm.code in
+    Cpu.set_irq cpu true;
+    (* j + ei: two instructions, line already high but masked *)
+    ignore (Cpu.run_fast cpu ~fuel:2);
+    check Alcotest.int "prelude retired" 2 (Cpu.instret cpu);
+    let cycles_before = Cpu.cycles cpu in
+    let consumed = runner cpu 1 in
+    check Alcotest.int "one fuel step consumed" 1 consumed;
+    check Alcotest.int "entry cycles charged" (cycles_before + 2)
+      (Cpu.cycles cpu);
+    check Alcotest.int "nothing retired by the entry" 2 (Cpu.instret cpu);
+    check Alcotest.int "vectored" 1 (Cpu.pc cpu)
+  in
+  with_tier (fun cpu fuel -> Cpu.run_fast cpu ~fuel);
+  with_tier (fun cpu fuel -> Cpu.run_blocks cpu ~fuel)
+
 (* ------------------------------------------------------------------ *)
 (* Codegen: differential tests against the Behavior interpreter        *)
 (* ------------------------------------------------------------------ *)
@@ -765,6 +840,12 @@ let () =
         [
           Alcotest.test_case "hot loop" `Quick test_profiler_hot_loop;
           Alcotest.test_case "entry region" `Quick test_profiler_entry_region;
+          Alcotest.test_case "irq entry keeps totals exact" `Quick
+            test_profiler_irq_total_cycles;
+          Alcotest.test_case "halt keeps pc on the halt site" `Quick
+            test_cpu_halt_pc;
+          Alcotest.test_case "fuel exhausts exactly at irq entry" `Quick
+            test_cpu_fuel_at_irq_boundary;
         ] );
       ( "codegen",
         [
