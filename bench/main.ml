@@ -306,6 +306,24 @@ let bench_kernel_budgeted () =
        (Budget.create ~fuel:1_000_000 ~deadline_ms:60_000 ())
        (budget_net ()))
 
+(* The partitioned-vs-serial kernel pair: the same wide pipeline mesh
+   (every hop a latency channel, so every cut has lookahead) on one
+   event wheel and on a 4-partition conservative plan, one domain per
+   partition.  The two runs are byte-identical in every observable
+   (EXP-P asserts this); the pair quotes what the LBTS barrier rounds
+   and domain hand-offs cost on top of the serial dispatch — on a
+   single-core host this is pure overhead, which is the honest number
+   to publish. *)
+let mesh_net = Codesign_workloads.Apps.mesh ~stages:3 ~lanes:4 ~count:8 ~work:4 ()
+
+let mesh_map =
+  Codesign_workloads.Apps.mesh_partition ~stages:3 ~lanes:4 ~partitions:4 ()
+
+let bench_mesh_serial () = ignore (Cosim.run_network mesh_net)
+
+let bench_mesh_partitioned () =
+  ignore (Cosim.run_network ~partition:mesh_map mesh_net)
+
 (* Returns the (name, ns/run OLS estimate) rows alongside printing them,
    so the JSON artifact carries the same numbers as the text report. *)
 let run_microbenchmarks () =
@@ -334,6 +352,8 @@ let run_microbenchmarks () =
         test "fuzz/corpus-48-parallel" bench_fuzz_parallel;
         test "resil/1k-wakeups-unbudgeted" bench_kernel_unbudgeted;
         test "resil/1k-wakeups-budgeted" bench_kernel_budgeted;
+        test "kernel/mesh-serial" bench_mesh_serial;
+        test "kernel/mesh-partitioned" bench_mesh_partitioned;
       ]
   in
   let ols =

@@ -190,7 +190,9 @@ let experiments_cmd =
         ~default:Resil.Policy.no_retry
     in
     if selected = [] then
-      Error (`Msg "no matching experiments (try exp1..exp10, exp3m, expA, expF)")
+      Error
+        (`Msg
+          "no matching experiments (try exp1..exp10, exp3m, expA, expF, expP)")
     else if json then begin
       let records =
         List.map
@@ -390,7 +392,31 @@ let cosim_cmd =
              larger quanta keep the checksum and trade exact \
              event/activation counts for speed).")
   in
-  let run level levels items quantum json =
+  let partitions =
+    Arg.(
+      value
+      & opt int 1
+      & info [ "partitions" ] ~docv:"N"
+          ~doc:
+            "Run the system on a conservatively synchronised \
+             partitioned kernel, one domain per partition (1-3): 2 \
+             cuts the sink onto its own partition, 3 also cuts the \
+             source.  Cut interfaces must be message-level and need \
+             $(b,--link-latency) >= 1 for lookahead.  Results are \
+             byte-identical to the serial run at the same link \
+             latency.")
+  in
+  let link_latency =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "link-latency" ] ~docv:"CYCLES"
+          ~doc:
+            "Delivery latency of the message-level channels (applied \
+             in every mode, so serial and partitioned runs stay \
+             comparable); doubles as the cross-partition lookahead.")
+  in
+  let run level levels items quantum partitions link_latency json =
     let assignment =
       match levels with
       | None -> Ok (Cosim.pure level)
@@ -403,9 +429,32 @@ let cosim_cmd =
       prerr_endline "cosim: --quantum must be >= 1";
       exit 2
     end;
+    if partitions < 1 || partitions > 3 then begin
+      prerr_endline "cosim: --partitions must be in 1..3";
+      exit 2
+    end;
+    if link_latency < 0 then begin
+      prerr_endline "cosim: --link-latency must be >= 0";
+      exit 2
+    end;
+    if partitions > 1 && link_latency < 1 then begin
+      prerr_endline
+        "cosim: --partitions > 1 needs --link-latency >= 1 (a cut \
+         channel's latency is the lookahead that lets the partitions \
+         synchronise)";
+      exit 2
+    end;
     let m, wall_s =
-      Obs.Clock.time (fun () ->
-          Cosim.run_echo_assignment ~levels ~items ~quantum ())
+      (* partition validation lives in the library (which interfaces are
+         cut, lookahead at the cuts); surface it as a CLI error, not an
+         uncaught exception *)
+      try
+        Obs.Clock.time (fun () ->
+            Cosim.run_echo_assignment ~levels ~items ~quantum ~partitions
+              ~link_latency ())
+      with Invalid_argument msg ->
+        prerr_endline ("cosim: " ^ msg);
+        exit 2
     in
     let outcome_str =
       match m.Cosim.outcome with
@@ -429,6 +478,8 @@ let cosim_cmd =
                 ("outcome", Obs.Json.Str outcome_str);
                 ("items", Obs.Json.Int items);
                 ("quantum", Obs.Json.Int quantum);
+                ("partitions", Obs.Json.Int partitions);
+                ("link_latency", Obs.Json.Int link_latency);
                 ("wall_s", Obs.Json.Float wall_s);
                 ("checksum", Obs.Json.Int m.Cosim.checksum);
                 ("sim_cycles", Obs.Json.Int m.Cosim.sim_cycles);
@@ -448,7 +499,10 @@ let cosim_cmd =
        ~doc:
          "Co-simulate the echo system at a given level, or a mixed \
           per-component level assignment.")
-    Term.(started (const run $ level $ levels $ items $ quantum $ json_arg))
+    Term.(
+      started
+        (const run $ level $ levels $ items $ quantum $ partitions
+       $ link_latency $ json_arg))
 
 (* ------------------------------------------------------------------ *)
 (* fuzz                                                                *)

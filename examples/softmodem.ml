@@ -57,6 +57,7 @@ let net =
             (if k = List.length stage_specs then "consumer"
              else fst (List.nth stage_specs k));
           depth = 2;
+          latency = 0;
         })
   in
   Pn.make ~name:"softmodem" procs channels

@@ -44,6 +44,7 @@ let zero_stats = { ops = 0; reads = 0; writes = 0; stalls = 0; busy_cycles = 0 }
 
 type t = {
   level : level;
+  lookahead : int;
   read : int -> int;
   write : int -> int -> unit;
   wait_ready : int -> unit;
@@ -71,9 +72,11 @@ let restore t s =
 (* bus-backed rungs                                                    *)
 (* ------------------------------------------------------------------ *)
 
-let of_bus_iface ~level ?(poll_interval = 8) ?save (iface : Bus.iface) =
+let of_bus_iface ~level ?(lookahead = 0) ?(poll_interval = 8) ?save
+    (iface : Bus.iface) =
   {
     level;
+    lookahead;
     read = iface.Bus.bus_read;
     write = iface.Bus.bus_write;
     wait_ready =
@@ -101,7 +104,10 @@ let of_bus_iface ~level ?(poll_interval = 8) ?save (iface : Bus.iface) =
 
 let pin ?setup_cycles ?poll_interval kernel map =
   let b = Bus.Pin.create ?setup_cycles kernel map in
-  of_bus_iface ~level:Pin ?poll_interval
+  (* Every pin access costs at least the setup handshake, so that is the
+     rung's guaranteed lookahead. *)
+  let lookahead = match setup_cycles with Some c -> c | None -> 1 in
+  of_bus_iface ~level:Pin ~lookahead ?poll_interval
     ~save:(fun () ->
       let s = Bus.Pin.snapshot b in
       fun () -> Bus.Pin.restore b s)
@@ -109,7 +115,12 @@ let pin ?setup_cycles ?poll_interval kernel map =
 
 let tlm ?read_latency ?write_latency ?poll_interval kernel map =
   let b = Bus.Tlm.create ?read_latency ?write_latency kernel map in
-  of_bus_iface ~level:Transaction ?poll_interval
+  let lookahead =
+    min
+      (match read_latency with Some c -> c | None -> 2)
+      (match write_latency with Some c -> c | None -> 2)
+  in
+  of_bus_iface ~level:Transaction ~lookahead ?poll_interval
     ~save:(fun () ->
       let s = Bus.Tlm.snapshot b in
       fun () -> Bus.Tlm.restore b s)
@@ -123,6 +134,7 @@ let driver ?(call_cost = 6) ?(poll_interval = 8) map =
   let reads = ref 0 and writes = ref 0 in
   {
     level = Driver;
+    lookahead = call_cost;
     read =
       (fun addr ->
         incr reads;
@@ -190,10 +202,24 @@ let message ?(recv = []) ?(send = []) () =
   in
   let would_proceed = function
     | Recv_ep c -> Ch.occupancy c > 0
-    | Send_ep c -> Ch.occupancy c < Ch.depth c
+    (* a latency channel is a delay line: sends always proceed *)
+    | Send_ep c -> Ch.latency c > 0 || Ch.occupancy c < Ch.depth c
+  in
+  (* The rung's lookahead is the weakest guarantee over its endpoints:
+     the minimum declared channel latency (0 if any endpoint is an
+     immediate channel, or if there are none). *)
+  let ep_latency = function Recv_ep c | Send_ep c -> Ch.latency c in
+  let lookahead =
+    match endpoints with
+    | [] -> 0
+    | (_, e0) :: rest ->
+        List.fold_left
+          (fun acc (_, e) -> min acc (ep_latency e))
+          (ep_latency e0) rest
   in
   {
     level = Message;
+    lookahead;
     read =
       (fun addr ->
         match lookup addr with

@@ -79,6 +79,17 @@ val zero_stats : stats
 
 type t = {
   level : level;
+  lookahead : int;
+      (** the backend's guaranteed minimum latency between initiating an
+          access and its earliest remote effect — the lookahead a
+          conservative partitioned run ({!Codesign_sim.Partition}) can
+          claim when this transport is the only traffic crossing a
+          partition boundary.  Per rung: {!pin} its [setup_cycles],
+          {!tlm} [min read_latency write_latency], {!driver} its
+          [call_cost], {!message} the minimum declared channel latency
+          over its endpoints (0 when any endpoint is an immediate
+          channel).  0 means "no guarantee": the transport cannot cut a
+          partition boundary. *)
   read : int -> int;  (** fetch the word at an address (blocking) *)
   write : int -> int -> unit;  (** store a word at an address (blocking) *)
   wait_ready : int -> unit;
@@ -152,20 +163,23 @@ val message :
     register performs a blocking [Channel.recv]; writing a bound
     endpoint's data register performs a blocking [Channel.send];
     reading the status register reports whether the data operation
-    would proceed without blocking.  [wait_ready] is a no-op (the data
+    would proceed without blocking (a latency channel's send endpoint is
+    always ready — it is a delay line).  [wait_ready] is a no-op (the data
     operations already block) and [stats] is {!zero_stats}: message
     traffic is kernel channel activity, not bus operations.  Accessing
     an unbound address raises [Invalid_argument]. *)
 
 val of_bus_iface :
   level:level ->
+  ?lookahead:int ->
   ?poll_interval:int ->
   ?save:(unit -> unit -> unit) ->
   Bus.iface ->
   t
 (** Adopt a legacy {!Bus.iface} (or any read/write/stats triple — the
     fault layer's wrapped media enter here) as a transport at the given
-    rung.  [save] (default absent) supplies the snapshot capability for
+    rung.  [lookahead] defaults to 0 (no partition-boundary guarantee);
+    [save] (default absent) supplies the snapshot capability for
     whatever state hides behind the iface closures. *)
 
 (** {1 Transactors} *)

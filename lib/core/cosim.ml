@@ -3,6 +3,8 @@ module Pn = Codesign_ir.Process_network
 module Budget = Codesign_resil.Budget
 module K = Codesign_sim.Kernel
 module Ch = Codesign_sim.Channel
+module Partition = Codesign_sim.Partition
+module Pdes = Codesign_par.Pdes
 module M = Codesign_bus.Memory_map
 module Bus = Codesign_bus.Bus
 module T = Codesign_bus.Transport
@@ -130,36 +132,76 @@ let message_sw_stmt_cycles = 8
    message endpoint processes, memory map, transports (a shared one when
    both interfaces sit on the same bus rung), software last. *)
 let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
-    ?(work = 8) ?(src_period = 200) ?(sink_period = 120) ?(quantum = 1) () =
+    ?(work = 8) ?(src_period = 200) ?(sink_period = 120) ?(quantum = 1)
+    ?(partitions = 1) ?(link_latency = 0) () =
   if quantum < 1 then
     invalid_arg "Cosim.run_echo_assignment: quantum must be >= 1";
+  if partitions < 1 || partitions > 3 then
+    invalid_arg
+      "Cosim.run_echo_assignment: partitions must be 1 (serial), 2 \
+       (src+cpu | sink) or 3 (src | cpu | sink)";
+  if link_latency < 0 then
+    invalid_arg "Cosim.run_echo_assignment: negative link_latency";
+  if partitions > 1 && budget <> None then
+    invalid_arg
+      "Cosim.run_echo_assignment: a partitioned run cannot be budgeted \
+       (Budget drives a single kernel)";
   let { src = src_lvl; cpu = cpu_lvl; sink = sink_lvl } = levels in
-  let k = K.create () in
+  if partitions >= 2 && sink_lvl <> Message then
+    invalid_arg
+      "Cosim.run_echo_assignment: the sink can only be cut onto its own \
+       partition at the message level";
+  if partitions = 3 && src_lvl <> Message then
+    invalid_arg
+      "Cosim.run_echo_assignment: the source can only be cut onto its own \
+       partition at the message level";
+  (* Partition layout: the bus-coupled components (map, buses, CPU) are
+     inseparable; message-level interfaces are the only cut points.
+     partitions = 1 keeps the historic single wheel. *)
+  let plan = Partition.create ~partitions in
+  let p_src, p_cpu, p_sink =
+    match partitions with
+    | 1 -> (0, 0, 0)
+    | 2 -> (0, 0, 1)
+    | _ -> (0, 1, 2)
+  in
+  let k = Partition.kernel plan p_cpu in
+  let k_src = Partition.kernel plan p_src in
+  let k_sink = Partition.kernel plan p_sink in
   let gen i = ((i * 7) mod 23) - 5 in
   (* source side: a bus-mapped stream device, or a kernel channel fed by
      a producer process when the interface is at Message level.  The
      device FIFO holds the full stream so a slow consumer loses
-     nothing. *)
+     nothing.  Channels live on their receiver's wheel: the input
+     channel is received by the CPU, the output channel by the sink. *)
   let src_dev, c_in =
     match src_lvl with
-    | Message -> (None, Some (Ch.create ~depth:4 ~name:"in" k () : int Ch.t))
+    | Message ->
+        ( None,
+          Some
+            (Ch.create ~depth:4 ~latency:link_latency ~name:"in" k ()
+              : int Ch.t) )
     | _ ->
         ( Some
             (Device.Stream_src.create ~depth:items ~period:src_period
-               ~count:items ~gen k ()),
+               ~count:items ~gen k_src ()),
           None )
   in
   let sink_dev, c_out =
     match sink_lvl with
     | Message ->
-        (None, Some (Ch.create ~depth:4 ~name:"out" k () : int Ch.t))
-    | _ -> (Some (Device.Stream_sink.create ~period:sink_period k ()), None)
+        ( None,
+          Some
+            (Ch.create ~depth:4 ~latency:link_latency ~name:"out" k_sink ()
+              : int Ch.t) )
+    | _ ->
+        (Some (Device.Stream_sink.create ~period:sink_period k_sink ()), None)
   in
   let msg_checksum = ref 0 in
   let sink_done_at = ref 0 in
   (match c_in with
   | Some c ->
-      K.spawn ~name:"source" k (fun () ->
+      K.spawn ~name:"source" k_src (fun () ->
           for i = 0 to items - 1 do
             K.wait src_period;
             Ch.send c (gen i)
@@ -167,13 +209,13 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
   | None -> ());
   (match c_out with
   | Some c ->
-      K.spawn ~name:"sink" k (fun () ->
+      K.spawn ~name:"sink" k_sink (fun () ->
           for _ = 1 to items do
             let v = Ch.recv c in
             msg_checksum := !msg_checksum + v;
             K.wait sink_period
           done;
-          sink_done_at := K.now k)
+          sink_done_at := K.now k_sink)
   | None -> ());
   let regions =
     (match src_dev with
@@ -218,6 +260,26 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
   let transports =
     if tr_sink == tr_src then [ tr_src ] else [ tr_src; tr_sink ]
   in
+  (* A cut interface must guarantee a minimum latency between a send and
+     its earliest remote effect: that is exactly the transport's
+     declared lookahead, so the partition boundary is checked there
+     rather than against any backend-specific knob. *)
+  (if partitions > 1 then
+     let check what (tr : T.t) =
+       if tr.T.lookahead < 1 then
+         invalid_arg
+           (Printf.sprintf
+              "Cosim.run_echo_assignment: the %s interface transport has \
+               zero lookahead and cannot cross a partition boundary (give \
+               its channels latency >= 1, e.g. link_latency)"
+              what)
+     in
+     check "sink" tr_sink;
+     if partitions = 3 then check "src" tr_src);
+  if p_cpu <> p_src then
+    Partition.route_channel plan ~src:p_src ~dst:p_cpu (Option.get c_in);
+  if p_sink <> p_cpu then
+    Partition.route_channel plan ~src:p_cpu ~dst:p_sink (Option.get c_out);
   let bus_ops () =
     List.fold_left (fun a t -> a + (t.T.stats ()).T.ops) 0 transports
   in
@@ -341,8 +403,8 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
     match budget with
     | None ->
         let st =
-          if pure_message then K.run k
-          else K.run ~until:50_000_000 ~expect_quiescent:true k
+          if pure_message then Pdes.run plan
+          else Pdes.run ~until:50_000_000 ~expect_quiescent:true plan
         in
         (st, None)
     | Some b -> (
@@ -389,9 +451,9 @@ let run_echo_assignment ~levels ?(wrap = fun t -> t) ?budget ?(items = 16)
   | _ -> ());
   let sim_cycles =
     match (iss, c_out) with
-    | Some _, _ -> if outcome = Completed then !cpu_done_at else K.now k
+    | Some _, _ -> if outcome = Completed then !cpu_done_at else st.K.end_time
     | None, Some _ -> !sink_done_at
-    | None, None -> if !sw_done then !cpu_done_at else K.now k
+    | None, None -> if !sw_done then !cpu_done_at else st.K.end_time
   in
   {
     level = cpu_lvl;
@@ -425,6 +487,7 @@ type network_result = {
   port_writes : (string * int * int) list;
   hw_area : int;
   sw_results : (string * (string * int) list) list;
+  chan_stats : (string * Ch.stats) list;
 }
 
 (* trip-weighted dynamic statement estimate (matches the ASIP walk) *)
@@ -451,13 +514,101 @@ let hw_stmt_cycles proc =
 
 let chan_port_base = 100
 
-let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
+let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until ?partition
+    (net : Pn.t) =
   ignore sw_cpi;
-  let k = K.create () in
+  let proc_names = List.map (fun (p, _) -> p.B.name) net.Pn.procs in
+  let proc_name = Array.of_list proc_names in
+  let proc_idx name =
+    let rec go i = if proc_name.(i) = name then i else go (i + 1) in
+    go 0
+  in
+  (match partition with
+  | None -> ()
+  | Some assign ->
+      List.iter
+        (fun (name, p) ->
+          if not (List.mem name proc_names) then
+            invalid_arg
+              (Printf.sprintf
+                 "Cosim.run_network: partition map names unknown process %S"
+                 name);
+          if p < 0 then
+            invalid_arg
+              (Printf.sprintf
+                 "Cosim.run_network: process %S assigned negative partition %d"
+                 name p))
+        assign);
+  let part_of =
+    match partition with
+    | None -> fun _ -> 0
+    | Some assign -> (
+        fun name ->
+          match List.assoc_opt name assign with Some p -> p | None -> 0)
+  in
+  let nparts =
+    1
+    + List.fold_left
+        (fun acc (p, _) -> max acc (part_of p.B.name))
+        0 net.Pn.procs
+  in
+  (* Software processes share one CPU token, and hardware processes with
+     an explicitly shared engine share that engine's token; token
+     holders must therefore be colocated — partitions only communicate
+     through latency channels. *)
+  (if nparts > 1 then
+     let sw_parts =
+       List.filter_map
+         (fun ((p : B.proc), m) ->
+           if m = Pn.Sw then Some (part_of p.B.name) else None)
+         net.Pn.procs
+       |> List.sort_uniq compare
+     in
+     match sw_parts with
+     | _ :: _ :: _ ->
+         invalid_arg
+           "Cosim.run_network: software processes share one CPU and must \
+            all map to the same partition"
+     | _ -> (
+         match hw_engines with
+         | None -> ()
+         | Some l ->
+             let seen : (int, string * int) Hashtbl.t = Hashtbl.create 4 in
+             List.iter
+               (fun ((p : B.proc), m) ->
+                 if m = Pn.Hw then
+                   match List.assoc_opt p.B.name l with
+                   | None -> ()
+                   | Some e -> (
+                       let part = part_of p.B.name in
+                       match Hashtbl.find_opt seen e with
+                       | None -> Hashtbl.replace seen e (p.B.name, part)
+                       | Some (other, part') when part' <> part ->
+                           invalid_arg
+                             (Printf.sprintf
+                                "Cosim.run_network: processes %S and %S \
+                                 share hardware engine %d but map to \
+                                 partitions %d and %d"
+                                other p.B.name e part' part)
+                       | Some _ -> ()))
+               net.Pn.procs));
+  let plan = Partition.create ~partitions:nparts in
+  let kern i = Partition.kernel plan i in
+  (* Channels live on their receiver's wheel (delivery executes there);
+     a channel whose sender is elsewhere is routed through the plan's
+     mailboxes, which demands latency >= 1 (the lookahead guard). *)
   let channels =
     List.map
       (fun (c : Pn.channel) ->
-        (c.Pn.cname, Ch.create ~depth:c.Pn.depth ~name:c.Pn.cname k ()))
+        let dst_part = part_of c.Pn.dst in
+        let ch =
+          Ch.create ~depth:c.Pn.depth ~latency:c.Pn.latency ~name:c.Pn.cname
+            (kern dst_part) ()
+        in
+        let src_part = part_of c.Pn.src in
+        if src_part <> dst_part then
+          Partition.route_channel plan ~src:src_part ~dst:dst_part ch;
+        (c.Pn.cname, ch))
       net.Pn.channels
   in
   let chan_ports =
@@ -470,7 +621,14 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
     in
     List.assoc name channels
   in
-  let port_writes = ref [] in
+  (* Observables are recorded per partition (each array cell is touched
+     only by the domain running that partition) and tagged with
+     (time, declaration index, per-process sequence); merging is a
+     canonical sort on the tags, so the reported order is a property of
+     the simulation, not of which wheel or domain hosted the writer. *)
+  let pw : (int * int * int * int * int) list ref array =
+    Array.init nparts (fun _ -> ref [])
+  in
   (* engine id of every process: software = -1, hardware = its engine *)
   let engine_id_of_proc name =
     match List.find_opt (fun (p, _) -> p.B.name = name) net.Pn.procs with
@@ -501,12 +659,26 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
     | None -> fun _ -> None
   in
   let next_auto_engine = ref 1000 in
-  let sw_results = ref [] in
-  let traps = ref [] in
+  let swr : (int * int * (string * int) list) list ref array =
+    Array.init nparts (fun _ -> ref [])
+  in
+  let trp : (int * int * string) list ref array =
+    Array.init nparts (fun _ -> ref [])
+  in
+  let end_times = Array.init nparts (fun _ -> ref 0) in
   let hw_area = ref 0 in
-  let end_time = ref 0 in
   List.iter
     (fun ((proc : B.proc), mapping) ->
+      let my_part = part_of proc.B.name in
+      let my_idx = proc_idx proc.B.name in
+      let my_k = kern my_part in
+      let my_pw = pw.(my_part) and my_end = end_times.(my_part) in
+      let my_seq = ref 0 in
+      let record_port p v =
+        let s = !my_seq in
+        my_seq := s + 1;
+        my_pw := (K.now my_k, my_idx, s, p, v) :: !my_pw
+      in
       match mapping with
       | Pn.Sw ->
           let items, lay = Codegen.compile ~chan_ports proc in
@@ -532,12 +704,11 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
                     Ch.send (chan_of_port p) v;
                     Mutex.acquire cpu_token
                   end
-                  else
-                    port_writes := (proc.B.name, p, v) :: !port_writes);
+                  else record_port p v);
             }
           in
           let c = Cpu.create ~env img.Asm.code in
-          K.spawn ~name:proc.B.name k (fun () ->
+          K.spawn ~name:proc.B.name my_k (fun () ->
               Mutex.acquire cpu_token;
               while Cpu.status c = Cpu.Running do
                 let cy = Cpu.step c in
@@ -550,15 +721,17 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
                  sees a structured outcome instead of an exception
                  unwinding through the scheduler *)
               (match Cpu.status c with
-              | Cpu.Trapped m -> traps := (proc.B.name, m) :: !traps
+              | Cpu.Trapped m ->
+                  trp.(my_part) := (K.now my_k, my_idx, m) :: !(trp.(my_part))
               | _ ->
-                  sw_results :=
-                    ( proc.B.name,
+                  swr.(my_part) :=
+                    ( K.now my_k,
+                      my_idx,
                       List.map
                         (fun v -> (v, Codegen.result lay c v))
                         proc.B.results )
-                    :: !sw_results);
-              if K.now k > !end_time then end_time := K.now k)
+                    :: !(swr.(my_part)));
+              if K.now my_k > !my_end then my_end := K.now my_k)
       | Pn.Hw ->
           let est = Codesign_hls.Hls.estimate proc in
           hw_area := !hw_area + est.Codesign_hls.Hls.area;
@@ -594,32 +767,43 @@ let run_network ?hw_engines ?sw_cpi ?(cross_cost = 0) ?until (net : Pn.t) =
                   Mutex.release token;
                   Ch.send (List.assoc ch channels) v;
                   Mutex.acquire token);
-              port_out =
-                (fun p v ->
-                  port_writes := (proc.B.name, p, v) :: !port_writes);
+              port_out = (fun p v -> record_port p v);
             }
           in
-          K.spawn ~name:proc.B.name k (fun () ->
+          K.spawn ~name:proc.B.name my_k (fun () ->
               Mutex.acquire token;
               ignore
                 (B.run ~io ~tick:(fun () -> K.wait stmt_cost) proc []);
               Mutex.release token;
-              if K.now k > !end_time then end_time := K.now k))
+              if K.now my_k > !my_end then my_end := K.now my_k))
     net.Pn.procs;
   let st =
     match until with
-    | Some u -> K.run ~until:u ~expect_quiescent:true k
-    | None -> K.run k
+    | Some u -> Pdes.run ~until:u ~expect_quiescent:true plan
+    | None -> Pdes.run plan
   in
+  let merge cells =
+    Array.to_list cells
+    |> List.concat_map (fun r -> List.rev !r)
+    |> List.sort compare
+  in
+  let port_writes =
+    List.map (fun (_, i, _, p, v) -> (proc_name.(i), p, v)) (merge pw)
+  in
+  let sw_results =
+    List.map (fun (_, i, kvs) -> (proc_name.(i), kvs)) (merge swr)
+  in
+  let traps = List.map (fun (_, i, m) -> (proc_name.(i), m)) (merge trp) in
   {
-    end_time = !end_time;
+    end_time = Array.fold_left (fun a r -> max a !r) 0 end_times;
     net_events = st.K.events;
     net_activations = st.K.activations;
     net_outcome =
-      (match List.rev !traps with
+      (match traps with
       | [] -> Net_completed
       | (p, m) :: _ -> Net_trapped (p, m));
-    port_writes = List.rev !port_writes;
+    port_writes;
     hw_area = !hw_area;
-    sw_results = List.rev !sw_results;
+    sw_results;
+    chan_stats = List.map (fun (name, ch) -> (name, Ch.stats ch)) channels;
   }

@@ -114,6 +114,8 @@ val run_echo_assignment :
   ?src_period:int ->
   ?sink_period:int ->
   ?quantum:int ->
+  ?partitions:int ->
+  ?link_latency:int ->
   unit ->
   metrics
 (** The generic pipeline: one echo system with each component at its
@@ -141,7 +143,22 @@ val run_echo_assignment :
     with [outcome = Exhausted _] and best-effort partial counters, the
     kernel state intact behind them.  Without [budget] the historic
     bounds apply unchanged (bus-coupled assignments stop at 50M cycles
-    with [Not_halted], pure-message runs are unbounded). *)
+    with [Not_halted], pure-message runs are unbounded).
+
+    [partitions] (default 1) runs the system on a conservatively
+    synchronised partitioned kernel ({!Codesign_sim.Partition}, one
+    domain per partition): 2 cuts the sink onto its own partition
+    (src+cpu | sink), 3 also cuts the source (src | cpu | sink).  Only
+    message-level interfaces can be cut, and every cut interface's
+    transport must declare a positive lookahead — give its channels
+    [link_latency >= 1].  [link_latency] (default 0) sets the delivery
+    latency of the message channels in every mode, so a partitioned run
+    is compared against the serial run at the same [link_latency]; the
+    two are byte-identical in all metrics.  [partitions = 1] with
+    [link_latency = 0] is exactly the historic serial system.
+    @raise Invalid_argument when [partitions] is outside 1..3, a cut
+    interface is not at {!Message} or has zero lookahead, or a
+    partitioned run is combined with [budget]. *)
 
 val run_echo_system :
   level:level ->
@@ -174,11 +191,19 @@ type network_result = {
   net_activations : int;
   net_outcome : network_outcome;
   port_writes : (string * int * int) list;
-      (** (process, port, value), in completion order *)
+      (** (process, port, value), in canonical order: sorted by (write
+          time, process declaration index, per-process write sequence) —
+          a property of the simulation itself, identical for serial and
+          partitioned runs *)
   hw_area : int;  (** summed HLS-estimated area of hardware processes *)
   sw_results : (string * (string * int) list) list;
       (** per software process: its behaviour's result variables
-          (trapped processes are absent) *)
+          (trapped processes are absent), in canonical
+          (completion time, declaration index) order *)
+  chan_stats : (string * Codesign_sim.Channel.stats) list;
+      (** per-channel traffic counters in declaration order —
+          partition-boundary channels are observable here
+          ([messages]/[blocked_sends] split) *)
 }
 
 val run_network :
@@ -186,6 +211,7 @@ val run_network :
   ?sw_cpi:int ->
   ?cross_cost:int ->
   ?until:int ->
+  ?partition:(string * int) list ->
   Codesign_ir.Process_network.t ->
   network_result
 (** [hw_engines] assigns hardware processes to engine ids; processes on
@@ -196,6 +222,20 @@ val run_network :
     different engines (software counts as one engine) — the §3.3
     "communication" factor made physical (default 0).  [until] bounds
     simulated time when given; without it a deadlocked network raises.
+
+    [partition] maps process names to partition ids (unnamed processes
+    go to partition 0); the network then runs on per-partition event
+    wheels under conservative synchronisation
+    ({!Codesign_sim.Partition}), one OCaml domain per partition
+    ([Codesign_par.Pdes]).  Every result field is byte-identical for any
+    partition map — including the absent one — on the same network:
+    channel latencies are the lookahead, and cross-partition arrivals
+    replay in their serial dispatch positions.
+    @raise Invalid_argument when a cross-partition channel has latency
+    0 (the message names the channel — zero lookahead would livelock
+    the synchronisation loop), when software processes are split across
+    partitions, when processes sharing an explicit hardware engine are
+    split, or when the map names an unknown process.
     @raise Codesign_sim.Kernel.Deadlock if the network deadlocks. *)
 
 val hw_stmt_cycles : Codesign_ir.Behavior.proc -> int

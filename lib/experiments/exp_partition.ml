@@ -1,0 +1,97 @@
+(** EXP-P — conservative partitioned co-simulation (ROADMAP PDES item).
+
+    The pipeline-mesh workload ({!Codesign_workloads.Apps.mesh}) runs on
+    the partitioned kernel at 1, 2 and 4 partitions under a lane-based
+    partition map.  Expected shape: every observable — end time, event
+    and activation counts, the checksum over port writes and channel
+    traffic — is byte-identical at every partition count (conservative
+    synchronisation with channel-latency lookahead replays the serial
+    dispatch order exactly); only wall time may move, and that is the
+    bench pair's business, not this table's. *)
+
+open Codesign
+module Apps = Codesign_workloads.Apps
+module Checksum = Codesign_obs.Checksum
+
+let result_sig (r : Cosim.network_result) =
+  let pw =
+    List.map (fun (p, port, v) -> Printf.sprintf "%s:%d:%d" p port v)
+      r.Cosim.port_writes
+  in
+  let cs =
+    List.map
+      (fun (name, (s : Codesign_sim.Channel.stats)) ->
+        Printf.sprintf "%s:%d:%d:%d:%d" name s.sends s.messages
+          s.blocked_sends s.recv_blocks)
+      r.Cosim.chan_stats
+  in
+  Printf.sprintf "t=%d|%s|%s" r.Cosim.end_time (String.concat ";" pw)
+    (String.concat ";" cs)
+
+let run ?(quick = false) () =
+  let stages = if quick then 2 else 4 in
+  let lanes = 4 in
+  let count = if quick then 8 else 24 in
+  let work = if quick then 4 else 8 in
+  let hop_latency = 4 in
+  let net = Apps.mesh ~stages ~lanes ~count ~work ~hop_latency () in
+  let boundary_messages partition (r : Cosim.network_result) =
+    let part name =
+      match List.assoc_opt name partition with Some p -> p | None -> 0
+    in
+    List.fold_left
+      (fun acc (c : Codesign_ir.Process_network.channel) ->
+        if part c.src <> part c.dst then
+          acc
+          + (List.assoc c.cname r.Cosim.chan_stats).Codesign_sim.Channel
+              .messages
+        else acc)
+      0 net.Codesign_ir.Process_network.channels
+  in
+  let rows =
+    List.map
+      (fun partitions ->
+        let partition =
+          if partitions = 1 then []
+          else Apps.mesh_partition ~stages ~lanes ~partitions ()
+        in
+        let r =
+          if partitions = 1 then Cosim.run_network net
+          else Cosim.run_network ~partition net
+        in
+        [
+          string_of_int partitions;
+          Report.fi r.Cosim.end_time;
+          Report.fi r.Cosim.net_events;
+          Report.fi r.Cosim.net_activations;
+          Report.fi (boundary_messages partition r);
+          Checksum.of_string (result_sig r);
+        ])
+      [ 1; 2; 4 ]
+  in
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "EXP-P: conservative partitioned kernel — %dx%d pipeline mesh, \
+          %d items, hop latency %d (every column except boundary msgs \
+          must be partition-invariant)"
+         stages lanes count hop_latency)
+    ~headers:
+      [ "partitions"; "end time"; "events"; "activations";
+        "boundary msgs"; "checksum" ]
+    ~align:[ Report.R; R; R; R; R; R ]
+    rows
+
+let shape_holds ?(quick = true) () =
+  let stages = if quick then 2 else 3 in
+  let lanes = 2 in
+  let net = Apps.mesh ~stages ~lanes ~count:6 ~work:4 () in
+  let serial = Cosim.run_network net in
+  let partitioned =
+    Cosim.run_network
+      ~partition:(Apps.mesh_partition ~stages ~lanes ~partitions:2 ())
+      net
+  in
+  result_sig serial = result_sig partitioned
+  && serial.Cosim.net_events = partitioned.Cosim.net_events
+  && serial.Cosim.net_activations = partitioned.Cosim.net_activations

@@ -48,6 +48,8 @@ let all =
       run = (fun ~quick ~jobs:_ () -> Exp_ablation.run ~quick ()) };
     { exp_id = "EXP-F"; cli_name = "expF";
       run = (fun ~quick ~jobs:_ () -> Exp_fault.run ~quick ()) };
+    { exp_id = "EXP-P"; cli_name = "expP";
+      run = (fun ~quick ~jobs:_ () -> Exp_partition.run ~quick ()) };
   ]
 
 let ids = List.map (fun e -> e.exp_id) all

@@ -129,6 +129,98 @@ let echo_params rng =
   let sink_period = Rng.int_in rng 40 200 in
   (items, work, src_period, sink_period)
 
+let net_spec rng =
+  let module Pn = Codesign_ir.Process_network in
+  let layers = Rng.int_in rng 2 4 in
+  let widths = Array.init layers (fun _ -> Rng.int_in rng 1 3) in
+  let count = Rng.int_in rng 3 10 in
+  let pname l k = Printf.sprintf "n%d_%d" l k in
+  (* Feed-forward edges only: every channel goes from a layer to a
+     strictly later one, so the DAG is acyclic; and every channel has
+     latency >= 1, so sends never block and each partition cut has
+     positive lookahead.  Each proc performs exactly [count] rounds,
+     receiving one value per in-channel and sending one per out-channel
+     per round, so channel traffic is exactly matched — the generated
+     network always terminates, for any channel depths. *)
+  let chans = ref [] and n_chans = ref 0 in
+  for l = 0 to layers - 2 do
+    for k = 0 to widths.(l) - 1 do
+      for _ = 1 to Rng.int_in rng 1 2 do
+        let l' = Rng.int_in rng (l + 1) (layers - 1) in
+        let c =
+          {
+            Pn.cname = Printf.sprintf "e%d" !n_chans;
+            src = pname l k;
+            dst = pname l' (Rng.int rng widths.(l'));
+            depth = Rng.int_in rng 1 3;
+            latency = Rng.int_in rng 1 4;
+          }
+        in
+        incr n_chans;
+        chans := c :: !chans
+      done
+    done
+  done;
+  let chans = List.rev !chans in
+  let add a b = B.Bin (B.Add, a, b) in
+  let mac acc x =
+    (* (acc * 3 + x) >> 1, the transform flavour of the workloads *)
+    B.Bin (B.Shr, add (B.Bin (B.Mul, acc, B.Int 3)) x, B.Int 1)
+  in
+  let procs =
+    List.concat
+      (List.init layers (fun l ->
+           List.init widths.(l) (fun k ->
+               let me = pname l k in
+               let ins = List.filter (fun c -> c.Pn.dst = me) chans in
+               let outs = List.filter (fun c -> c.Pn.src = me) chans in
+               let mix = Rng.int_in rng 1 6 in
+               let round =
+                 if ins = [] then
+                   (* source: a deterministic per-proc sample stream *)
+                   B.Assign
+                     ( "acc",
+                       B.Bin
+                         ( B.Sub,
+                           B.Bin
+                             ( B.Rem,
+                               B.Bin (B.Mul, B.Var "p", B.Int (7 + mix)),
+                               B.Int 23 ),
+                           B.Int 5 ) )
+                   :: []
+                 else
+                   B.Assign ("acc", B.Int mix)
+                   :: List.concat_map
+                        (fun c ->
+                          [
+                            B.Recv ("x", c.Pn.cname);
+                            B.Assign ("acc", mac (B.Var "acc") (B.Var "x"));
+                          ])
+                        ins
+               in
+               let round =
+                 round
+                 @ List.map (fun c -> B.Send (c.Pn.cname, B.Var "acc")) outs
+                 @ [ B.Assign ("sum", add (B.Var "sum") (B.Var "acc")) ]
+               in
+               let body =
+                 [
+                   B.Assign ("sum", B.Int 0);
+                   B.For ("p", B.Int 0, B.Int count, round);
+                   B.PortOut (1, B.Var "sum");
+                 ]
+               in
+               ( {
+                   B.name = me;
+                   params = [];
+                   arrays = [];
+                   results = [ "sum" ];
+                   body;
+                 },
+                 Pn.Hw ))))
+  in
+  Pn.make ~name:"fuzznet" procs chans
+
 let tgff_spec rng =
   let n_tasks = Rng.int_in rng 4 14 in
   {

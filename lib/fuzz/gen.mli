@@ -26,6 +26,18 @@ val echo_params : Codesign_ir.Rng.t -> int * int * int * int
     {!Codesign.Cosim.run_echo_system}, drawn from ranges around the
     defaults so device wait states stay material. *)
 
+val net_spec : Codesign_ir.Rng.t -> Codesign_ir.Process_network.t
+(** A random feed-forward process network for differential testing of
+    the partitioned kernel: 2-4 layers of 1-3 hardware processes,
+    channels only from a layer to a strictly later one (acyclic), every
+    channel a latency channel (latency 1-4, so any partition cut has
+    positive lookahead and sends never block), and exactly matched
+    SDF-style traffic — each process runs a fixed round count, receiving
+    one value per in-channel and sending one per out-channel per round —
+    so the network always terminates for any channel depths and any
+    partition map.  Every process accumulates a checksum in result
+    variable ["sum"] and emits it on port 1. *)
+
 val tgff_spec : Codesign_ir.Rng.t -> Codesign_workloads.Tgff.spec
 (** A random task-graph spec: 4-14 tasks, 2-5 layers, varying edge
     densities, cycle ranges and deadline tightness. *)

@@ -1,6 +1,12 @@
 type mapping = Sw | Hw
 
-type channel = { cname : string; src : string; dst : string; depth : int }
+type channel = {
+  cname : string;
+  src : string;
+  dst : string;
+  depth : int;
+  latency : int;
+}
 
 type t = {
   name : string;
@@ -46,7 +52,9 @@ let make ?(name = "net") procs channels =
           (Printf.sprintf "Process_network.make: channel %s is a self-loop"
              c.cname);
       if c.depth < 0 then
-        invalid_arg "Process_network.make: negative channel depth")
+        invalid_arg "Process_network.make: negative channel depth";
+      if c.latency < 0 then
+        invalid_arg "Process_network.make: negative channel latency")
     channels;
   (* every channel used in a behaviour must be declared consistently *)
   List.iter
@@ -156,7 +164,10 @@ let pp fmt t =
     t.procs;
   List.iter
     (fun c ->
-      Format.fprintf fmt "  chan %-12s %s -> %s (depth %d)@," c.cname c.src
-        c.dst c.depth)
+      (* latency shown only when nonzero, keeping historic output for
+         immediate channels byte-identical *)
+      Format.fprintf fmt "  chan %-12s %s -> %s (depth %d%s)@," c.cname c.src
+        c.dst c.depth
+        (if c.latency > 0 then Printf.sprintf ", latency %d" c.latency else ""))
     t.channels;
   Format.fprintf fmt "@]"

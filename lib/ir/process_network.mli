@@ -17,6 +17,12 @@ type channel = {
   src : string;  (** producing process name *)
   dst : string;  (** consuming process name *)
   depth : int;  (** FIFO depth; 0 = rendezvous *)
+  latency : int;
+      (** delivery latency in cycles; 0 = immediate (blocking FIFO or
+          rendezvous).  A [latency > 0] channel is a delay line
+          ({!Codesign_sim.Channel}) and doubles as the lookahead that
+          lets the channel cross a partition boundary in a partitioned
+          co-simulation run. *)
 }
 
 type t = {
@@ -28,10 +34,10 @@ type t = {
 val make :
   ?name:string -> (Behavior.proc * mapping) list -> channel list -> t
 (** Validates: process names unique; channel names unique; channel
-    endpoints name existing processes and differ; every channel a process
-    sends on / receives from in its behaviour is declared with that
-    process as the matching endpoint.  @raise Invalid_argument
-    otherwise. *)
+    endpoints name existing processes and differ; depth and latency
+    non-negative; every channel a process sends on / receives from in
+    its behaviour is declared with that process as the matching
+    endpoint.  @raise Invalid_argument otherwise. *)
 
 val find_proc : t -> string -> Behavior.proc * mapping
 (** @raise Invalid_argument on unknown name, listing the processes the

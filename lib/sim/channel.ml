@@ -1,51 +1,91 @@
-type stats = { sends : int; send_blocks : int; recv_blocks : int }
+type stats = {
+  sends : int;
+  messages : int;
+  blocked_sends : int;
+  recv_blocks : int;
+}
 
 type 'a t = {
   kernel : Kernel.t;
   name : string;
   cap : int;
+  latency : int;
+  lane : int;
   buffer : 'a Queue.t;
   waiting_senders : ('a * (unit -> unit)) Queue.t;
   waiting_receivers : ('a option ref * (unit -> unit)) Queue.t;
   mutable sends : int;
-  mutable send_blocks : int;
+  mutable messages : int;
+  mutable blocked_sends : int;
   mutable recv_blocks : int;
+  mutable send_seq : int;
+  mutable route : (int -> (unit -> unit) -> unit) option;
 }
 
-let create ?(depth = 0) ?(name = "chan") kernel () =
+let create ?(depth = 0) ?(latency = 0) ?(name = "chan") kernel () =
   if depth < 0 then invalid_arg "Channel.create: negative depth";
+  if latency < 0 then invalid_arg "Channel.create: negative latency";
   {
     kernel;
     name;
     cap = depth;
+    latency;
+    (* Every channel takes a lane even when it never uses one, so lane
+       numbering depends only on creation order — the same network built
+       on one wheel or on per-partition wheels assigns any channel subset
+       the same relative lane order. *)
+    lane = Kernel.alloc_lane kernel;
     buffer = Queue.create ();
     waiting_senders = Queue.create ();
     waiting_receivers = Queue.create ();
     sends = 0;
-    send_blocks = 0;
+    messages = 0;
+    blocked_sends = 0;
     recv_blocks = 0;
+    send_seq = 0;
+    route = None;
   }
 
 let name c = c.name
 let depth c = c.cap
+let latency c = c.latency
+let lane c = c.lane
 let occupancy c = Queue.length c.buffer
 
+let set_route c route =
+  if c.latency < 1 then
+    invalid_arg
+      (Printf.sprintf
+         "Channel.set_route: channel %S has zero lookahead (latency 0); a \
+          routed channel needs latency >= 1"
+         c.name);
+  c.route <- Some route
+
 let stats c =
-  { sends = c.sends; send_blocks = c.send_blocks; recv_blocks = c.recv_blocks }
+  {
+    sends = c.sends;
+    messages = c.messages;
+    blocked_sends = c.blocked_sends;
+    recv_blocks = c.recv_blocks;
+  }
 
 type 'a snap = {
   s_buffer : 'a list;  (** front first *)
   s_sends : int;
-  s_send_blocks : int;
+  s_messages : int;
+  s_blocked_sends : int;
   s_recv_blocks : int;
+  s_send_seq : int;
 }
 
 let snapshot c =
   {
     s_buffer = List.of_seq (Queue.to_seq c.buffer);
     s_sends = c.sends;
-    s_send_blocks = c.send_blocks;
+    s_messages = c.messages;
+    s_blocked_sends = c.blocked_sends;
     s_recv_blocks = c.recv_blocks;
+    s_send_seq = c.send_seq;
   }
 
 let restore c s =
@@ -57,8 +97,10 @@ let restore c s =
   Queue.clear c.waiting_senders;
   Queue.clear c.waiting_receivers;
   c.sends <- s.s_sends;
-  c.send_blocks <- s.s_send_blocks;
-  c.recv_blocks <- s.s_recv_blocks
+  c.messages <- s.s_messages;
+  c.blocked_sends <- s.s_blocked_sends;
+  c.recv_blocks <- s.s_recv_blocks;
+  c.send_seq <- s.s_send_seq
 
 (* After removing from the buffer, a blocked sender (if any) can deposit
    its value. *)
@@ -72,12 +114,49 @@ let refill c =
     resume ()
   end
 
-let try_send c v =
+(* Receiver side of a latency channel: the message materialises at the
+   destination [latency] ticks after the send.  A waiting receiver gets
+   a direct hand-off; otherwise the value parks in the (unbounded for
+   this mode) buffer. *)
+let arrive c v =
   if not (Queue.is_empty c.waiting_receivers) then begin
+    let cell, resume = Queue.pop c.waiting_receivers in
+    cell := Some v;
+    c.messages <- c.messages + 1;
+    resume ()
+  end
+  else Queue.push v c.buffer
+
+(* A latency send never blocks: the channel behaves as a delay line with
+   unbounded in-flight capacity (depth is ignored), which is exactly the
+   decoupling that gives a partitioned run its lookahead.  Delivery goes
+   through the arrival lane keyed by (channel lane, send sequence), so
+   its dispatch position at the destination timestamp is a property of
+   the communication — identical whether the arrival was pushed locally
+   (serial wheel) or injected at a partition barrier. *)
+let send_latent c v =
+  c.sends <- c.sends + 1;
+  let seq = c.send_seq in
+  c.send_seq <- seq + 1;
+  let deliver () = arrive c v in
+  match c.route with
+  | None ->
+      Kernel.at_keyed c.kernel
+        ~time:(Kernel.now c.kernel + c.latency)
+        ~key:c.lane ~seq deliver
+  | Some route -> route seq deliver
+
+let try_send c v =
+  if c.latency > 0 then begin
+    send_latent c v;
+    true
+  end
+  else if not (Queue.is_empty c.waiting_receivers) then begin
     (* Direct hand-off: buffer is necessarily empty when receivers wait. *)
     let cell, resume = Queue.pop c.waiting_receivers in
     cell := Some v;
     c.sends <- c.sends + 1;
+    c.messages <- c.messages + 1;
     resume ();
     true
   end
@@ -90,7 +169,7 @@ let try_send c v =
 
 let send c v =
   if not (try_send c v) then begin
-    c.send_blocks <- c.send_blocks + 1;
+    c.blocked_sends <- c.blocked_sends + 1;
     Kernel.suspend ~register:(fun resume ->
         Queue.push (v, resume) c.waiting_senders);
     c.sends <- c.sends + 1
@@ -99,12 +178,14 @@ let send c v =
 let try_recv c =
   if not (Queue.is_empty c.buffer) then begin
     let v = Queue.pop c.buffer in
+    c.messages <- c.messages + 1;
     refill c;
     Some v
   end
   else if c.cap = 0 && not (Queue.is_empty c.waiting_senders) then begin
     (* rendezvous hand-off from a blocked sender *)
     let v, resume = Queue.pop c.waiting_senders in
+    c.messages <- c.messages + 1;
     resume ();
     Some v
   end
@@ -115,12 +196,14 @@ let recv c =
      round-trip, so a receive that finds data ready allocates nothing. *)
   if not (Queue.is_empty c.buffer) then begin
     let v = Queue.pop c.buffer in
+    c.messages <- c.messages + 1;
     refill c;
     v
   end
   else if c.cap = 0 && not (Queue.is_empty c.waiting_senders) then begin
     (* rendezvous hand-off from a blocked sender *)
     let v, resume = Queue.pop c.waiting_senders in
+    c.messages <- c.messages + 1;
     resume ();
     v
   end

@@ -1,4 +1,4 @@
-type entry = { time : int; seq : int; thunk : unit -> unit }
+type entry = { time : int; key : int; seq : int; thunk : unit -> unit }
 
 type t = {
   mutable heap : entry array;
@@ -7,26 +7,33 @@ type t = {
   mutable pushed : int;
 }
 
-let dummy = { time = 0; seq = 0; thunk = ignore }
+let dummy = { time = 0; key = 0; seq = 0; thunk = ignore }
 
 let create () = { heap = Array.make 64 dummy; len = 0; next_seq = 0; pushed = 0 }
 
-let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+(* Ordering: time, then key, then seq.  Ordinary events all carry
+   [key = max_int] and a queue-assigned monotone [seq], so among
+   themselves the queue is the historic stable (time, insertion-order)
+   priority queue.  Keyed events — the cross-partition "arrival lane" —
+   carry a caller-assigned (key, seq) pair, so their position within a
+   timestamp is a property of the communication itself, not of when the
+   event was physically pushed onto this wheel. *)
+let before a b =
+  a.time < b.time
+  || (a.time = b.time
+      && (a.key < b.key || (a.key = b.key && a.seq < b.seq)))
 
 let swap t i j =
   let tmp = t.heap.(i) in
   t.heap.(i) <- t.heap.(j);
   t.heap.(j) <- tmp
 
-let push t ~time thunk =
-  if time < 0 then invalid_arg "Event_queue.push: negative time";
+let insert t e =
   if t.len = Array.length t.heap then begin
     let h = Array.make (2 * t.len) dummy in
     Array.blit t.heap 0 h 0 t.len;
     t.heap <- h
   end;
-  let e = { time; seq = t.next_seq; thunk } in
-  t.next_seq <- t.next_seq + 1;
   t.pushed <- t.pushed + 1;
   t.heap.(t.len) <- e;
   t.len <- t.len + 1;
@@ -35,6 +42,18 @@ let push t ~time thunk =
     swap t !i ((!i - 1) / 2);
     i := (!i - 1) / 2
   done
+
+let push t ~time thunk =
+  if time < 0 then invalid_arg "Event_queue.push: negative time";
+  let e = { time; key = max_int; seq = t.next_seq; thunk } in
+  t.next_seq <- t.next_seq + 1;
+  insert t e
+
+let push_keyed t ~time ~key ~seq thunk =
+  if time < 0 then invalid_arg "Event_queue.push_keyed: negative time";
+  if key < 0 || key = max_int then
+    invalid_arg "Event_queue.push_keyed: key must be in [0, max_int)";
+  insert t { time; key; seq; thunk }
 
 let sift_down t =
   let i = ref 0 in

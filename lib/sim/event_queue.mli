@@ -1,16 +1,36 @@
 (** A deterministic time-ordered event queue.
 
-    Events are thunks keyed by (timestamp, insertion sequence): the queue
-    is a stable priority queue, so events at equal timestamps fire in
-    insertion order.  This stability is what makes the whole simulation
-    framework reproducible run-to-run. *)
+    Events are thunks ordered by (timestamp, key, sequence).  Ordinary
+    {!push}ed events all carry the sentinel key [max_int] and a
+    queue-assigned monotone sequence number, so among themselves the
+    queue is a stable priority queue — events at equal timestamps fire
+    in insertion order.  This stability is what makes the whole
+    simulation framework reproducible run-to-run.
+
+    {!push_keyed} is the {e arrival lane} used by latency channels and
+    the partitioned kernel: the caller assigns the (key, seq) pair, so
+    an event's position within its timestamp is a property of the
+    communication that produced it (which channel, which send) rather
+    than of when it was physically inserted into this particular wheel.
+    That is what lets a cross-partition arrival — injected at a barrier,
+    long after local events at the same timestamp were pushed — fire in
+    exactly the place it would have occupied on a single serial wheel. *)
 
 type t
 
 val create : unit -> t
 
 val push : t -> time:int -> (unit -> unit) -> unit
-(** Schedule a thunk.  @raise Invalid_argument on negative time. *)
+(** Schedule a thunk in the ordinary lane ([key = max_int], next
+    insertion sequence).  @raise Invalid_argument on negative time. *)
+
+val push_keyed : t -> time:int -> key:int -> seq:int -> (unit -> unit) -> unit
+(** Schedule a thunk in the arrival lane: at its timestamp it fires
+    before every ordinary event and is ordered against other keyed
+    events by (key, seq).  Callers must keep (key, seq) pairs unique per
+    timestamp (the latency machinery uses one key per channel and a
+    per-channel send counter).  @raise Invalid_argument on negative time
+    or a key outside [0, max_int). *)
 
 val pop : t -> (int * (unit -> unit)) option
 (** Remove and return the earliest event (ties broken by insertion

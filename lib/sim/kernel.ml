@@ -21,6 +21,7 @@ type t = {
   mutable next_block_id : int;
   blocked : (int, string * bool) Hashtbl.t;  (** id -> (name, daemon) *)
   mutable tracer : (int -> string -> unit) option;
+  mutable next_lane : int;  (** arrival-lane key allocator *)
 }
 
 (* Cumulative per-domain counters across every kernel run in this domain.
@@ -86,6 +87,7 @@ let create () =
     next_block_id = 0;
     blocked = Hashtbl.create 16;
     tracer = None;
+    next_lane = 0;
   }
 
 let now k = k.now
@@ -95,6 +97,18 @@ let at k ~time thunk =
     invalid_arg
       (Printf.sprintf "Kernel.at: time %d is in the past (now %d)" time k.now);
   Event_queue.push k.q ~time thunk
+
+let at_keyed k ~time ~key ~seq thunk =
+  if time < k.now then
+    invalid_arg
+      (Printf.sprintf "Kernel.at_keyed: time %d is in the past (now %d)" time
+         k.now);
+  Event_queue.push_keyed k.q ~time ~key ~seq thunk
+
+let alloc_lane k =
+  let l = k.next_lane in
+  k.next_lane <- l + 1;
+  l
 
 let spawn ?(name = "proc") ?(daemon = false) k fn =
   k.spawned <- k.spawned + 1;
@@ -226,6 +240,32 @@ let run ?until ?stop ?(expect_quiescent = false) ?(check_deadlock = false) k =
 
 let has_pending_events k = not (Event_queue.is_empty k.q)
 
+let next_event_time k = Event_queue.min_time k.q
+
+(* One barrier round of the partitioned (LBTS) loop: dispatch every
+   event up to [horizon] and stop, leaving the clock at the last
+   dispatched event.  No coasting, no deadlock check — the Partition
+   driver owns both across the whole set of wheels.  Per-domain totals
+   are settled here because a horizon run may execute on a worker
+   domain whose DLS deltas are merged after the join. *)
+let run_horizon k ~horizon =
+  let events0 = k.events
+  and activations0 = k.activations
+  and scheduled0 = Event_queue.pushed_total k.q in
+  let slot = Event_queue.slot () in
+  while Event_queue.pop_into k.q ~limit:horizon slot do
+    k.now <- slot.Event_queue.s_time;
+    k.events <- k.events + 1;
+    slot.Event_queue.s_thunk ()
+  done;
+  let totals = Domain.DLS.get totals_key in
+  totals.c_events <- totals.c_events + (k.events - events0);
+  totals.c_activations <- totals.c_activations + (k.activations - activations0);
+  totals.c_scheduled <-
+    totals.c_scheduled + (Event_queue.pushed_total k.q - scheduled0)
+
+let coast k ~time = if time > k.now then k.now <- time
+
 type snap = {
   s_q : Event_queue.snap;
   s_now : int;
@@ -233,6 +273,7 @@ type snap = {
   s_activations : int;
   s_spawned : int;
   s_next_block_id : int;
+  s_next_lane : int;
   s_blocked : (int, string * bool) Hashtbl.t;
 }
 
@@ -244,6 +285,7 @@ let snapshot k =
     s_activations = k.activations;
     s_spawned = k.spawned;
     s_next_block_id = k.next_block_id;
+    s_next_lane = k.next_lane;
     s_blocked = Hashtbl.copy k.blocked;
   }
 
@@ -254,6 +296,7 @@ let restore k s =
   k.activations <- s.s_activations;
   k.spawned <- s.s_spawned;
   k.next_block_id <- s.s_next_block_id;
+  k.next_lane <- s.s_next_lane;
   Hashtbl.reset k.blocked;
   Hashtbl.iter (fun id v -> Hashtbl.replace k.blocked id v) s.s_blocked
 

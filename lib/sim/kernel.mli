@@ -52,6 +52,24 @@ val at : t -> time:int -> (unit -> unit) -> unit
 (** Schedule a bare callback (not a process: it must not block) at an
     absolute time >= now. *)
 
+val at_keyed : t -> time:int -> key:int -> seq:int -> (unit -> unit) -> unit
+(** Schedule a bare callback in the {e arrival lane}
+    ({!Event_queue.push_keyed}): at its timestamp it fires before every
+    ordinary event and is ordered against other keyed events by
+    (key, seq) — a property of the communication, not of which wheel or
+    when the event was physically pushed.  {!Channel} and {!Signal} use
+    this for declared-latency delivery so that a partitioned run
+    ({!Partition}) dispatches in exactly the serial order.
+    @raise Invalid_argument on a time in the past or a key outside
+    [0, max_int). *)
+
+val alloc_lane : t -> int
+(** Allocate the next arrival-lane key of this kernel (0, 1, 2, ...).
+    Channels and signals take one lane each at creation, in creation
+    order, so the relative lane order of any subset is the same whether
+    they were created on one shared wheel or spread over per-partition
+    wheels in the same overall order. *)
+
 val run :
   ?until:int ->
   ?stop:(unit -> bool) ->
@@ -89,6 +107,25 @@ val has_pending_events : t -> bool
 (** [true] iff undispatched events remain queued — after a bounded or
     [stop]ped {!run}, the sign that the simulation was cut off rather
     than drained. *)
+
+val next_event_time : t -> int
+(** Timestamp of this kernel's earliest pending event, or [max_int] when
+    its wheel is empty.  The {!Partition} LBTS loop takes the minimum
+    over all partitions to compute the next global safe bound. *)
+
+val run_horizon : t -> horizon:int -> unit
+(** One barrier round of the partitioned loop: dispatch every event with
+    time <= [horizon], leaving the clock at the last dispatched event.
+    Unlike {!run} this neither coasts to the bound nor checks for
+    deadlock — the {!Partition} driver owns both decisions across the
+    whole set of wheels after the final round.  Per-domain totals are
+    settled per call, so a round run on a worker domain contributes a
+    mergeable delta. *)
+
+val coast : t -> time:int -> unit
+(** Advance the clock to [time] if it is ahead of [now] (no events are
+    dispatched).  The {!Partition} driver uses it to settle every
+    partition on the common end time after the last round. *)
 
 val blocked_non_daemon : t -> string list
 (** Names of the non-daemon processes currently blocked in {!suspend}

@@ -10,20 +10,37 @@
 
 type 'a t
 
-val create : ?name:string -> Kernel.t -> 'a -> 'a t
-(** [create k init] makes a signal with initial value [init]. *)
+val create : ?latency:int -> ?name:string -> Kernel.t -> 'a -> 'a t
+(** [create k init] makes a signal with initial value [init].
+    [latency] (default 0) is a propagation delay: writes take effect
+    that many ticks later, which also serves as the signal's lookahead
+    when it crosses a partition boundary ({!Partition}).
+    @raise Invalid_argument on negative latency. *)
 
 val read : 'a t -> 'a
 
 val write : 'a t -> 'a -> unit
-(** Set the value; wakes waiters only if the value changed
-    (structural equality). *)
+(** Set the value; wakes waiters only if the value changed (structural
+    equality).  On a [latency > 0] signal the write lands — and the
+    change compare happens — [latency] ticks later, ordered by (signal
+    lane, write sequence) in the arrival lane ({!Kernel.at_keyed}). *)
 
 val pulse : 'a t -> 'a -> unit
 (** Set the value and wake waiters even if it is unchanged — models a
-    momentary strobe. *)
+    momentary strobe.  Delayed like {!write} on a latency signal. *)
 
 val name : 'a t -> string
+
+val latency : 'a t -> int
+(** Declared propagation delay — the signal's lookahead. *)
+
+val lane : 'a t -> int
+(** Arrival-lane key in the hosting kernel (creation order). *)
+
+val set_route : 'a t -> (int -> (unit -> unit) -> unit) -> unit
+(** Install a cross-partition route (see {!Channel.set_route}).
+    @raise Invalid_argument when the signal has zero lookahead
+    ([latency = 0], named in the message). *)
 
 val write_count : 'a t -> int
 (** Number of waking writes so far (a signal-activity metric). *)

@@ -89,6 +89,7 @@ let pipeline ?(stages = 2) ?(count = 16) ?(work = 8) ?(depth = 2) () =
           dst =
             (if k = stages then "consumer" else Printf.sprintf "stage%d" k);
           depth;
+          latency = 0;
         })
   in
   Pn.make ~name:"pipeline" procs channels
@@ -162,16 +163,84 @@ let fork_join ?(workers = 3) ?(items = 12) ?(work = 16) () =
                src = "splitter";
                dst = Printf.sprintf "worker%d" w;
                depth = 2;
+               latency = 0;
              };
              {
                Pn.cname = out_chan w;
                src = Printf.sprintf "worker%d" w;
                dst = "joiner";
                depth = 2;
+               latency = 0;
              };
            ]))
   in
   Pn.make ~name:"fork_join" procs channels
+
+(* A wide N-stage x M-lane pipeline mesh.  Every lane runs the same
+   producer -> stage^N -> consumer chain, but each hop rotates one lane
+   to the left, so all lanes are woven into a single connected network —
+   partitioning it by lane actually exercises cross-partition traffic on
+   every hop.  Hops are latency channels (delay lines), giving a
+   partitioned run [hop_latency] of lookahead per link; because every
+   producer emits the identical sample stream and the rotation is a
+   permutation, each consumer still accumulates exactly the serial
+   pipeline's total. *)
+let mesh ?(stages = 3) ?(lanes = 4) ?(count = 16) ?(work = 8)
+    ?(hop_latency = 4) () =
+  if stages < 1 then invalid_arg "Apps.mesh: stages < 1";
+  if lanes < 1 then invalid_arg "Apps.mesh: lanes < 1";
+  if hop_latency < 1 then invalid_arg "Apps.mesh: hop_latency < 1";
+  let chan s l = Printf.sprintf "c%d_%d" s l in
+  let stage_name s l = Printf.sprintf "s%d_%d" s l in
+  let producer_name l = Printf.sprintf "producer%d" l in
+  let consumer_name l = Printf.sprintf "consumer%d" l in
+  let procs =
+    List.init lanes (fun l ->
+        (producer ~name:(producer_name l) ~chan:(chan 0 l) ~count (), Pn.Hw))
+    @ List.concat
+        (List.init stages (fun s ->
+             List.init lanes (fun l ->
+                 ( transform ~name:(stage_name s l) ~in_chan:(chan s l)
+                     ~out_chan:(chan (s + 1) ((l + 1) mod lanes))
+                     ~count ~work (),
+                   Pn.Hw ))))
+    @ List.init lanes (fun l ->
+          ( consumer ~name:(consumer_name l) ~chan:(chan stages l) ~count
+              ~port:1 (),
+            Pn.Hw ))
+  in
+  let channels =
+    List.concat
+      (List.init (stages + 1) (fun s ->
+           List.init lanes (fun l ->
+               let src =
+                 if s = 0 then producer_name l
+                 else stage_name (s - 1) ((l - 1 + lanes) mod lanes)
+               in
+               let dst =
+                 if s = stages then consumer_name l else stage_name s l
+               in
+               {
+                 Pn.cname = chan s l;
+                 src;
+                 dst;
+                 depth = 2;
+                 latency = hop_latency;
+               })))
+  in
+  Pn.make ~name:"mesh" procs channels
+
+(* Lane-based partition map for {!mesh}: every process of lane [l] goes
+   to partition [l mod partitions], so each inter-stage hop (which
+   rotates lanes) crosses a boundary whenever partitions > 1. *)
+let mesh_partition ?(stages = 3) ?(lanes = 4) ~partitions () =
+  if partitions < 1 then invalid_arg "Apps.mesh_partition: partitions < 1";
+  let part l = l mod partitions in
+  List.init lanes (fun l -> (Printf.sprintf "producer%d" l, part l))
+  @ List.concat
+      (List.init stages (fun s ->
+           List.init lanes (fun l -> (Printf.sprintf "s%d_%d" s l, part l))))
+  @ List.init lanes (fun l -> (Printf.sprintf "consumer%d" l, part l))
 
 let expected_pipeline_output ~count ~work ~stages =
   let transform_item x =

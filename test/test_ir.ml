@@ -615,7 +615,7 @@ let consumer =
 let net () =
   Pn.make ~name:"pc"
     [ (producer, Pn.Sw); (consumer, Pn.Hw) ]
-    [ { Pn.cname = "data"; src = "producer"; dst = "consumer"; depth = 2 } ]
+    [ { Pn.cname = "data"; src = "producer"; dst = "consumer"; depth = 2; latency = 0 } ]
 
 let test_pn_basic () =
   let n = net () in
@@ -629,7 +629,7 @@ let test_pn_validation () =
   (try
      Pn.make
        [ (producer, Pn.Sw) ]
-       [ { Pn.cname = "data"; src = "producer"; dst = "nobody"; depth = 0 } ]
+       [ { Pn.cname = "data"; src = "producer"; dst = "nobody"; depth = 0; latency = 0 } ]
      |> ignore;
      fail "unknown endpoint"
    with Invalid_argument _ -> ());
@@ -640,7 +640,7 @@ let test_pn_validation () =
   try
     Pn.make
       [ (producer, Pn.Sw); (consumer, Pn.Hw) ]
-      [ { Pn.cname = "data"; src = "consumer"; dst = "producer"; depth = 0 } ]
+      [ { Pn.cname = "data"; src = "consumer"; dst = "producer"; depth = 0; latency = 0 } ]
     |> ignore;
     fail "wrong direction"
   with Invalid_argument _ -> ()

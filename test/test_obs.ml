@@ -161,7 +161,7 @@ let test_report_roundtrip () =
 
 (* The golden test the bench harness's artifact is held to: written with
    Bench_report.write (the exact code path bench/main.exe uses), the
-   file must parse back and name all thirteen experiments. *)
+   file must parse back and name every registry experiment. *)
 let test_report_golden_file () =
   let path = Filename.temp_file "bench_results" ".json" in
   Fun.protect
@@ -174,9 +174,10 @@ let test_report_golden_file () =
           let names =
             List.map (fun e -> e.Obs.Bench_report.name) r.experiments
           in
-          check (Alcotest.list Alcotest.string) "all thirteen experiments"
+          check (Alcotest.list Alcotest.string) "all fourteen experiments"
             [ "EXP-1"; "EXP-2"; "EXP-3"; "EXP-3M"; "EXP-4"; "EXP-5"; "EXP-6";
-              "EXP-7"; "EXP-8"; "EXP-9"; "EXP-10"; "EXP-A"; "EXP-F" ]
+              "EXP-7"; "EXP-8"; "EXP-9"; "EXP-10"; "EXP-A"; "EXP-F";
+              "EXP-P" ]
             names;
           check Alcotest.int "schema version" Obs.Bench_report.schema_version
             r.Obs.Bench_report.schema_version)
@@ -460,11 +461,11 @@ let test_fault_report_rejects_bad () =
         "cell with wrong field type"
   | _ -> fail "fault report did not serialise to an object"
 
-(* The registry itself: thirteen entries, unique ids, resolvable by both
+(* The registry itself: fourteen entries, unique ids, resolvable by both
    spellings. *)
 let test_registry_shape () =
-  check Alcotest.int "thirteen experiments" 13 (List.length Registry.all);
-  check Alcotest.int "unique ids" 13
+  check Alcotest.int "fourteen experiments" 14 (List.length Registry.all);
+  check Alcotest.int "unique ids" 14
     (List.length (List.sort_uniq compare Registry.ids));
   (match Registry.find "exp10" with
   | Some e -> check Alcotest.string "cli name resolves" "EXP-10" e.exp_id
@@ -503,7 +504,7 @@ let () =
       ( "bench_report",
         [
           Alcotest.test_case "round trip" `Quick test_report_roundtrip;
-          Alcotest.test_case "golden file: parses, names all thirteen" `Quick
+          Alcotest.test_case "golden file: parses, names all fourteen" `Quick
             test_report_golden_file;
           Alcotest.test_case "rejects invalid" `Quick test_report_rejects_bad;
           Alcotest.test_case "registry shape" `Quick test_registry_shape;

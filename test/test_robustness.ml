@@ -166,7 +166,7 @@ let test_network_deadlock_detected () =
   let net =
     Pn.make
       [ (producer, Pn.Sw); (consumer, Pn.Sw) ]
-      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 1 } ]
+      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 1; latency = 0 } ]
   in
   try
     ignore (Cosim.run_network net);
@@ -235,7 +235,7 @@ let test_network_trap_is_structured () =
   let net =
     Pn.make
       [ (bad, Pn.Sw); (healthy, Pn.Sw); (consumer, Pn.Sw) ]
-      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 2 } ]
+      [ { Pn.cname = "c"; src = "producer"; dst = "consumer"; depth = 2; latency = 0 } ]
   in
   let r = Cosim.run_network net in
   (match r.Cosim.net_outcome with
@@ -298,7 +298,7 @@ let test_channel_mismatched_direction_rejected () =
     ignore
       (Pn.make
          [ (p1, Pn.Sw); (p2, Pn.Sw) ]
-         [ { Pn.cname = "c"; src = "b"; dst = "a"; depth = 0 } ]);
+         [ { Pn.cname = "c"; src = "b"; dst = "a"; depth = 0; latency = 0 } ]);
     fail "expected direction mismatch"
   with Invalid_argument _ -> ()
 

@@ -569,7 +569,7 @@ let test_chan_rendezvous () =
   ignore (K.run k);
   let stats = Channel.stats c in
   check Alcotest.int "sends" 3 stats.Channel.sends;
-  check Alcotest.bool "sender blocked" true (stats.Channel.send_blocks >= 1);
+  check Alcotest.bool "sender blocked" true (stats.Channel.blocked_sends >= 1);
   (* values in order *)
   let recvs = List.filter (fun (t, _, _) -> t = "recv") (List.rev !log) in
   check
@@ -586,7 +586,7 @@ let test_chan_buffered_nonblocking () =
       done);
   ignore (K.run ~expect_quiescent:true k);
   let stats = Channel.stats c in
-  check Alcotest.int "no blocks" 0 stats.Channel.send_blocks;
+  check Alcotest.int "no blocks" 0 stats.Channel.blocked_sends;
   check Alcotest.int "occupancy" 4 (Channel.occupancy c)
 
 let test_chan_buffered_backpressure () =
@@ -607,7 +607,7 @@ let test_chan_buffered_backpressure () =
   let stats = Channel.stats c in
   check Alcotest.int "all sent" 5 stats.Channel.sends;
   check Alcotest.bool "tx experienced backpressure" true
-    (stats.Channel.send_blocks > 0);
+    (stats.Channel.blocked_sends > 0);
   check Alcotest.bool "tx finished late" true (!done_tx >= 30)
 
 let test_chan_try_ops () =

@@ -409,7 +409,7 @@ let test_process_network_lookup_errors () =
   let net =
     Pn.make ~name:"pair"
       [ (proc "writer" [ "c" ] [], Pn.Sw); (proc "reader" [] [ "c" ], Pn.Hw) ]
-      [ { Pn.cname = "c"; src = "writer"; dst = "reader"; depth = 1 } ]
+      [ { Pn.cname = "c"; src = "writer"; dst = "reader"; depth = 1; latency = 0 } ]
   in
   check Alcotest.bool "find_proc finds" true
     (snd (Pn.find_proc net "reader") = Pn.Hw);
